@@ -1,0 +1,32 @@
+// Figure 11: IOzone-style disk throughput (O_DIRECT analog: DMA block device, 128 KiB
+// records), read and write, Native vs Miralis vs Miralis no-offload.
+
+#include "bench/bench_util.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  vfm::PrintHeader("Figure 11", "IOzone throughput, 128K records (vf2-sim)");
+  std::printf("%-22s %16s %16s\n", "configuration", "read (MB/s)", "write (MB/s)");
+  double native_mbps[2] = {0, 0};
+  for (vfm::DeployMode mode :
+       {vfm::DeployMode::kNative, vfm::DeployMode::kMiralis,
+        vfm::DeployMode::kMiralisNoOffload}) {
+    double mbps[2];
+    for (int phase = 0; phase < 2; ++phase) {
+      const vfm::WorkloadProfile profile = vfm::IozoneProfile(/*write_phase=*/phase == 1);
+      const vfm::WorkloadRun run =
+          vfm::RunWorkload(vfm::PlatformKind::kVf2Sim, mode, profile, 600'000'000);
+      const double bytes = static_cast<double>(profile.block_ios) *
+                           static_cast<double>(profile.block_sectors) * 512.0;
+      mbps[phase] = bytes / run.seconds / 1e6;
+      if (mode == vfm::DeployMode::kNative) {
+        native_mbps[phase] = mbps[phase];
+      }
+    }
+    std::printf("%-22s %9.1f (%4.2fx) %9.1f (%4.2fx)\n", vfm::DeployModeName(mode), mbps[0],
+                mbps[0] / native_mbps[0], mbps[1], mbps[1] / native_mbps[1]);
+  }
+  vfm::PrintFooter("Figure 11 (Miralis ~= native, write slightly faster; no-offload "
+                   "~10.6% slower from per-I/O time-read traps)");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 12: Memcached request-latency distribution (Memtier analog: closed-loop
+// requests with per-request timestamping), Native vs Miralis vs Miralis no-offload.
+
+#include "bench/bench_util.h"
+#include "src/common/histogram.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  vfm::PrintHeader("Figure 12", "Memcached latency distribution (vf2-sim)");
+  const vfm::WorkloadProfile profile = vfm::MemcachedLatencyProfile();
+  const vfm::PlatformProfile platform = vfm::MakePlatform(vfm::PlatformKind::kVf2Sim, 1, false);
+  const double ns_per_tick = static_cast<double>(platform.machine.cost.mtime_tick_cycles) /
+                             (static_cast<double>(platform.machine.cost.freq_mhz) / 1000.0);
+
+  std::printf("%-22s %10s %10s %10s %10s %10s  (request latency, us)\n", "configuration",
+              "p50", "p90", "p95", "p99", "max");
+  for (vfm::DeployMode mode :
+       {vfm::DeployMode::kNative, vfm::DeployMode::kMiralis,
+        vfm::DeployMode::kMiralisNoOffload}) {
+    const vfm::WorkloadRun run =
+        vfm::RunWorkload(vfm::PlatformKind::kVf2Sim, mode, profile, 600'000'000);
+    vfm::Histogram histogram;
+    for (uint64_t ticks : run.latencies) {
+      histogram.Record(ticks);
+    }
+    auto us = [&](double p) {
+      return static_cast<double>(histogram.Percentile(p)) * ns_per_tick / 1000.0;
+    };
+    std::printf("%-22s %10.2f %10.2f %10.2f %10.2f %10.2f\n", vfm::DeployModeName(mode),
+                us(50), us(90), us(95), us(99), us(100));
+  }
+  vfm::PrintFooter("Figure 12 (Miralis slightly below native up to p95 — 263 vs 279ns "
+                   "medians on hardware; no-offload ~2x the latency)");
+  return 0;
+}

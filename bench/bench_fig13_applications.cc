@@ -1,0 +1,67 @@
+// Figure 13: relative application performance (Redis, Memcached, MySQL, GCC) on both
+// platforms and all three configurations, plus the §8.3.3 side-claims: world-switch
+// rates under offload and the Sstc counterfactual ("time CSR + Sstc would remove
+// 96.5% of world switches").
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workloads.h"
+
+namespace vfm {
+namespace {
+
+void RunPlatform(PlatformKind kind, const char* name) {
+  std::printf("\n-- %s --\n", name);
+  std::printf("%-12s %-20s %14s %14s %12s\n", "workload", "configuration", "relative perf",
+              "traps/s", "switches/s");
+  const std::vector<WorkloadProfile> apps = {RedisProfile(), MemcachedProfile(),
+                                             MysqlProfile(), GccProfile()};
+  double total_switches = 0;
+  double timer_related = 0;
+  for (const WorkloadProfile& app : apps) {
+    double native_rps = 0;
+    for (DeployMode mode :
+         {DeployMode::kNative, DeployMode::kMiralis, DeployMode::kMiralisNoOffload}) {
+      const WorkloadRun run = RunWorkload(kind, mode, app, 900'000'000);
+      if (mode == DeployMode::kNative) {
+        native_rps = run.requests_per_second;
+      }
+      std::printf("%-12s %-20s %13.3fx %14.0f %12.2f\n", app.name.c_str(),
+                  DeployModeName(mode), run.requests_per_second / native_rps,
+                  run.traps_per_second, run.world_switches_per_second);
+      if (mode == DeployMode::kMiralisNoOffload) {
+        // The Sstc counterfactual: time reads and set-timer calls would not trap at
+        // all on a CPU with the time CSR and the Sstc extension, so the fraction of
+        // OS-to-firmware transitions they cause would disappear outright.
+        const auto& causes = run.monitor_stats.os_traps_by_cause;
+        double classified = 0;
+        for (unsigned i = 0; i < static_cast<unsigned>(OsTrapCause::kCount); ++i) {
+          classified += static_cast<double>(causes[i]);
+        }
+        total_switches += classified;
+        timer_related +=
+            static_cast<double>(causes[static_cast<unsigned>(OsTrapCause::kTimeRead)] +
+                                causes[static_cast<unsigned>(OsTrapCause::kSetTimer)]);
+      }
+    }
+  }
+  if (total_switches > 0) {
+    std::printf("Sstc counterfactual: time+timer traps are %.1f%% of the OS-to-firmware "
+                "transitions on %s\n",
+                100.0 * timer_related / total_switches, name);
+  }
+}
+
+}  // namespace
+}  // namespace vfm
+
+int main() {
+  vfm::PrintHeader("Figure 13", "relative application performance");
+  vfm::RunPlatform(vfm::PlatformKind::kVf2Sim, "vf2-sim");
+  vfm::RunPlatform(vfm::PlatformKind::kP550Sim, "p550-sim");
+  vfm::PrintFooter("Figure 13 (Miralis ~= native, up to +7.6% on trap-heavy network apps; "
+                   "no-offload up to -259% on Redis/P550; Sstc would remove 96.5% of "
+                   "world switches)");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Host-side throughput microbenchmarks (google-benchmark): how fast the simulator
+// and the monitor's hot paths run on the host. These are engineering benchmarks for
+// the library itself, not paper reproductions, and guard against regressions in the
+// interpreter and PMP-check fast paths that all the figure benches depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/log.h"
+#include "src/core/vcpu.h"
+#include "src/core/vpmp.h"
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+namespace {
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  kb.EmitComputeLoop(1'000'000'000, 16);  // effectively endless
+  kb.EmitFinish(true);
+  System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+  // Skip firmware boot.
+  system.machine->RunUntilFinished(20'000);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const uint64_t before = system.machine->total_instret();
+    system.machine->RunUntilFinished(100'000);
+    instructions += system.machine->total_instret() - before;
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_PmpCheck(benchmark::State& state) {
+  PmpBank bank(8);
+  VCsrFile vcsr(VhartConfig{});
+  vcsr.Set(CsrPmpaddr(0), 0x2000'0000);
+  vcsr.Set(CsrPmpcfg(0), 0x1F);
+  VpmpInputs inputs;
+  inputs.monitor = {true, 0x8000'0000, 1 << 20, false, false, false};
+  inputs.vdev = {true, 0x200'0000, 0x10000, false, false, false};
+  ComputePhysicalPmp(vcsr, inputs, &bank);
+  uint64_t addr = 0x8000'0000;
+  bool sink = false;
+  for (auto _ : state) {
+    addr = addr * 1664525 + 1013904223;
+    sink ^= bank.Check(addr & 0xFFFF'FFFF, 8, AccessType::kLoad, PrivMode::kSupervisor);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PmpCheck);
+
+void BM_PrivilegedEmulation(benchmark::State& state) {
+  VhartConfig config;
+  VirtContext vctx(config);
+  uint64_t gprs[32] = {};
+  const DecodedInstr instr = Decode(0x34011073);  // csrw mscratch, sp
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vctx.EmulatePrivileged(instr, gprs));
+    vctx.set_priv(PrivMode::kMachine);
+  }
+}
+BENCHMARK(BM_PrivilegedEmulation);
+
+void BM_WorldSwitchPath(benchmark::State& state) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+  a.Bind("bm_loop");
+  a.Li(a7, 0x10);  // BASE extension: never fast-pathed, always a world switch
+  a.Li(a6, 0);
+  a.Ecall();
+  a.J("bm_loop");
+  System system = BootSystem(profile, DeployMode::kMiralis, kb.Finish());
+  system.machine->RunUntilFinished(20'000);  // reach the loop
+  for (auto _ : state) {
+    const uint64_t before = system.monitor->stats().world_switches;
+    system.machine->RunUntil([&] {
+      return system.monitor->stats().world_switches >= before + 10;
+    }, 1'000'000);
+  }
+  state.counters["switches"] = static_cast<double>(system.monitor->stats().world_switches);
+}
+BENCHMARK(BM_WorldSwitchPath)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vfm
+
+int main(int argc, char** argv) {
+  vfm::SetLogLevel(vfm::LogLevel::kError);  // warm-up budget warnings are expected
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

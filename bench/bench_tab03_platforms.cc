@@ -1,0 +1,30 @@
+// Table 3: characteristics of the evaluation platforms (simulated profiles).
+
+#include "bench/bench_util.h"
+#include "src/platform/platform.h"
+
+int main() {
+  vfm::PrintHeader("Table 3", "characteristics of the evaluation platforms");
+  std::printf("%-26s %-14s %-14s\n", "", "vf2-sim", "p550-sim");
+  const vfm::PlatformProfile vf2 = vfm::MakePlatform(vfm::PlatformKind::kVf2Sim, 4, false);
+  const vfm::PlatformProfile p550 = vfm::MakePlatform(vfm::PlatformKind::kP550Sim, 4, false);
+  std::printf("%-26s %-14u %-14u\n", "number of cores", vf2.machine.hart_count,
+              p550.machine.hart_count);
+  std::printf("%-26s %-11.1fGHz %-11.1fGHz\n", "frequency",
+              vf2.machine.cost.freq_mhz / 1000.0, p550.machine.cost.freq_mhz / 1000.0);
+  std::printf("%-26s %-11lluMB %-11lluMB\n", "RAM",
+              static_cast<unsigned long long>(vf2.machine.map.ram_size >> 20),
+              static_cast<unsigned long long>(p550.machine.map.ram_size >> 20));
+  std::printf("%-26s %-14s %-14s\n", "kernel", "minios (5.15 analog)", "minios (6.6 analog)");
+  std::printf("%-26s %-14u %-14u\n", "PMP entries", vf2.machine.isa.pmp_entries,
+              p550.machine.isa.pmp_entries);
+  std::printf("%-26s %-14s %-14s\n", "time CSR in hardware",
+              vf2.machine.isa.has_time_csr ? "yes" : "no (traps)",
+              p550.machine.isa.has_time_csr ? "yes" : "no (traps)");
+  std::printf("%-26s %-14s %-14s\n", "custom M-mode CSRs",
+              vf2.machine.isa.has_custom_csrs ? "4" : "none",
+              p550.machine.isa.has_custom_csrs ? "4" : "none");
+  vfm::PrintFooter("Table 3 (VisionFive 2: 4 cores @1.5GHz 4GB Linux 5.15; "
+                   "Premier P550: 4 cores @1.8GHz 16GB Linux 6.6)");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table 4: overhead of monitor operations in cycles — the cost of emulating one
+// privileged instruction ("csrw mscratch, x0") and of a full world-switch round trip
+// (OS -> VFM -> firmware -> VFM -> OS), per platform.
+
+#include "bench/bench_util.h"
+#include "src/isa/sbi.h"
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+namespace {
+
+constexpr unsigned kProbes = 2000;
+constexpr uint64_t kBudget = 200'000'000;
+
+Image TrivialKernel(const PlatformProfile& profile) {
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  kb.EmitFinish(/*pass=*/true);
+  return kb.Finish();
+}
+
+// A kernel that performs `count` non-fast-path SBI calls (BASE get_spec_version),
+// each of which round-trips through the virtualized firmware.
+Image EcallKernel(const PlatformProfile& profile, uint64_t count) {
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+  a.Li(s4, count);
+  a.Bind("t4_loop");
+  a.Beqz(s4, "t4_done");
+  a.Li(a7, SbiExt::kBase);
+  a.Li(a6, SbiFunc::kGetSpecVersion);
+  a.Ecall();
+  a.Addi(s4, s4, -1);
+  a.J("t4_loop");
+  a.Bind("t4_done");
+  kb.EmitFinish(/*pass=*/true);
+  return kb.Finish();
+}
+
+uint64_t RunToCompletion(const PlatformProfile& profile, DeployMode mode, Image kernel,
+                         FirmwareKind fw, unsigned probes) {
+  System system = BootSystem(profile, mode, std::move(kernel), fw, nullptr, probes);
+  if (!system.machine->RunUntilFinished(kBudget) ||
+      system.machine->finisher().exit_code() != 0) {
+    std::fprintf(stderr, "table-4 run failed\n");
+    std::exit(1);
+  }
+  return system.machine->cycles();
+}
+
+void MeasurePlatform(PlatformKind kind, const char* name) {
+  const PlatformProfile profile = MakePlatform(kind, /*hart_count=*/1, false);
+
+  // Emulation cost: micro firmware executing kProbes "csrw mscratch, x0" in vM-mode,
+  // differenced against the zero-probe image.
+  const uint64_t with_probes = RunToCompletion(profile, DeployMode::kMiralis,
+                                               TrivialKernel(profile), FirmwareKind::kMicro,
+                                               kProbes);
+  const uint64_t without_probes = RunToCompletion(profile, DeployMode::kMiralis,
+                                                  TrivialKernel(profile), FirmwareKind::kMicro,
+                                                  0);
+  const uint64_t emulation = (with_probes - without_probes) / kProbes;
+
+  // World-switch round trip: OS ecalls that are not offloaded, differenced against a
+  // run without the calls (the loop overhead itself is ~4 cycles per iteration).
+  const uint64_t with_calls = RunToCompletion(profile, DeployMode::kMiralis,
+                                              EcallKernel(profile, kProbes),
+                                              FirmwareKind::kMicro, 0);
+  const uint64_t without_calls = RunToCompletion(profile, DeployMode::kMiralis,
+                                                 EcallKernel(profile, 0),
+                                                 FirmwareKind::kMicro, 0);
+  const uint64_t world_switch = (with_calls - without_calls) / kProbes;
+
+  std::printf("%-16s %22llu %18llu\n", name, static_cast<unsigned long long>(emulation),
+              static_cast<unsigned long long>(world_switch));
+}
+
+}  // namespace
+}  // namespace vfm
+
+int main() {
+  vfm::PrintHeader("Table 4", "overhead of monitor operations in cycles");
+  std::printf("%-16s %22s %18s\n", "", "instruction emulation", "world switch");
+  vfm::MeasurePlatform(vfm::PlatformKind::kVf2Sim, "vf2-sim");
+  vfm::MeasurePlatform(vfm::PlatformKind::kP550Sim, "p550-sim");
+  vfm::PrintFooter("Table 4 (VisionFive 2: 483 / 2704 cycles; Premier P550: 271 / 4098; "
+                   "expected shape: P550 cheaper emulation, costlier world switch)");
+  return 0;
+}

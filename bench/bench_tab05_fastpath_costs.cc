@@ -1,0 +1,83 @@
+// Table 5: cost of a time read and of an IPI delivery, Native (firmware) vs Miralis
+// (fast path) vs Miralis no-offload, on the vf2-sim platform. The measured quantity is
+// simulated nanoseconds per operation.
+
+#include "bench/bench_util.h"
+#include "src/isa/csr.h"
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint64_t kOps = 20'000;
+constexpr uint64_t kBudget = 800'000'000;
+
+enum class Probe { kTimeRead, kIpi };
+
+Image ProbeKernel(const PlatformProfile& profile, Probe probe, uint64_t count) {
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+  a.Li(s4, count);
+  a.Bind("t5_loop");
+  a.Beqz(s4, "t5_done");
+  if (probe == Probe::kTimeRead) {
+    a.Csrr(a0, kCsrTime);
+  } else {
+    // Send a self-IPI and spin until the supervisor software interrupt is taken
+    // (the full delivery latency, as Table 5 measures it with 100k kernel IPIs).
+    a.La(t0, "k_results");
+    a.Ld(s5, t0, 8 * KernelSlots::kIpisTaken);
+    kb.EmitSendIpi(1);
+    a.Bind("t5_wait");
+    a.La(t0, "k_results");
+    a.Ld(t1, t0, 8 * KernelSlots::kIpisTaken);
+    a.Beq(t1, s5, "t5_wait");
+  }
+  a.Addi(s4, s4, -1);
+  a.J("t5_loop");
+  a.Bind("t5_done");
+  kb.EmitFinish(/*pass=*/true);
+  return kb.Finish();
+}
+
+double MeasureNs(const PlatformProfile& profile, DeployMode mode, Probe probe) {
+  auto run = [&](uint64_t count) {
+    System system = BootSystem(profile, mode, ProbeKernel(profile, probe, count));
+    if (!system.machine->RunUntilFinished(kBudget) ||
+        system.machine->finisher().exit_code() != 0) {
+      std::fprintf(stderr, "table-5 run failed (%s)\n", DeployModeName(mode));
+      std::exit(1);
+    }
+    return system.machine->cycles();
+  };
+  const uint64_t cycles = (run(kOps) - run(0)) / kOps;
+  return static_cast<double>(cycles) /
+         (static_cast<double>(profile.machine.cost.freq_mhz) / 1000.0);  // ns
+}
+
+}  // namespace
+}  // namespace vfm
+
+int main() {
+  vfm::PrintHeader("Table 5", "cost of timer read and IPI (vf2-sim)");
+  const vfm::PlatformProfile profile = vfm::MakePlatform(vfm::PlatformKind::kVf2Sim, 1, false);
+  std::printf("%-22s %14s %14s\n", "", "read time", "IPI");
+  struct Row {
+    const char* name;
+    vfm::DeployMode mode;
+  };
+  const Row rows[] = {{"Native (firmware)", vfm::DeployMode::kNative},
+                      {"Miralis", vfm::DeployMode::kMiralis},
+                      {"Miralis no-offload", vfm::DeployMode::kMiralisNoOffload}};
+  for (const Row& row : rows) {
+    const double time_ns = vfm::MeasureNs(profile, row.mode, vfm::Probe::kTimeRead);
+    const double ipi_ns = vfm::MeasureNs(profile, row.mode, vfm::Probe::kIpi);
+    std::printf("%-22s %11.0f ns %11.2f us\n", row.name, time_ns, ipi_ns / 1000.0);
+  }
+  vfm::PrintFooter("Table 5 (Native 288ns/3.96us; Miralis 208ns/3.65us; no-offload "
+                   "7.26us/39.8us — fast path slightly beats native, no-offload ~10x)");
+  return 0;
+}

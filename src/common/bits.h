@@ -1,0 +1,78 @@
+// Bit-manipulation helpers used across the simulator, monitor, and reference model.
+//
+// All helpers are constexpr and operate on uint64_t, the natural register width of the
+// RV64 machine this library models.
+
+#ifndef SRC_COMMON_BITS_H_
+#define SRC_COMMON_BITS_H_
+
+#include <cstdint>
+
+namespace vfm {
+
+// Returns a mask with the low `n` bits set. `n` must be in [0, 64].
+constexpr uint64_t MaskLow(unsigned n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+// Returns a mask covering bits [lo, hi] inclusive.
+constexpr uint64_t MaskRange(unsigned hi, unsigned lo) {
+  return MaskLow(hi - lo + 1) << lo;
+}
+
+// Returns bit `pos` of `value` as 0 or 1.
+constexpr uint64_t Bit(uint64_t value, unsigned pos) { return (value >> pos) & 1; }
+
+// Extracts bits [lo, hi] inclusive of `value`, right-aligned.
+constexpr uint64_t ExtractBits(uint64_t value, unsigned hi, unsigned lo) {
+  return (value >> lo) & MaskLow(hi - lo + 1);
+}
+
+// Returns `value` with bits [lo, hi] replaced by the low bits of `field`.
+constexpr uint64_t InsertBits(uint64_t value, unsigned hi, unsigned lo, uint64_t field) {
+  const uint64_t mask = MaskRange(hi, lo);
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+// Returns `value` with bit `pos` set to `bit` (0 or 1).
+constexpr uint64_t SetBit(uint64_t value, unsigned pos, uint64_t bit) {
+  return (value & ~(uint64_t{1} << pos)) | ((bit & 1) << pos);
+}
+
+// Sign-extends the low `width` bits of `value` to 64 bits.
+constexpr uint64_t SignExtend(uint64_t value, unsigned width) {
+  const unsigned shift = 64 - width;
+  return static_cast<uint64_t>(static_cast<int64_t>(value << shift) >> shift);
+}
+
+// True if `value` is aligned to `alignment` (a power of two).
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+// Rounds `value` up to the next multiple of `alignment` (a power of two).
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+// Rounds `value` down to a multiple of `alignment` (a power of two).
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+// True if `value` is a power of two (zero is not).
+constexpr bool IsPowerOfTwo(uint64_t value) { return value != 0 && (value & (value - 1)) == 0; }
+
+// Number of trailing one bits (used by PMP NAPOT decoding).
+constexpr unsigned CountTrailingOnes(uint64_t value) {
+  unsigned n = 0;
+  while ((value & 1) != 0) {
+    value >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vfm
+
+#endif  // SRC_COMMON_BITS_H_

@@ -1,0 +1,42 @@
+// Invariant-checking macros. CHECK aborts on violated invariants in all build modes;
+// DCHECK compiles out of release builds. Library code uses these instead of exceptions.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define VFM_CHECK(cond)                                                                   \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);     \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#define VFM_CHECK_MSG(cond, ...)                                                          \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__, __LINE__, #cond);     \
+      std::fprintf(stderr, __VA_ARGS__);                                                  \
+      std::fprintf(stderr, "\n");                                                         \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define VFM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define VFM_DCHECK(cond) VFM_CHECK(cond)
+#endif
+
+#define VFM_UNREACHABLE()                                                              \
+  do {                                                                                 \
+    std::fprintf(stderr, "UNREACHABLE reached at %s:%d\n", __FILE__, __LINE__);        \
+    std::abort();                                                                      \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,61 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace vfm {
+
+void Histogram::Record(uint64_t value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+uint64_t Histogram::min() const {
+  VFM_CHECK(!values_.empty());
+  EnsureSorted();
+  return values_.front();
+}
+
+uint64_t Histogram::max() const {
+  VFM_CHECK(!values_.empty());
+  EnsureSorted();
+  return values_.back();
+}
+
+double Histogram::Mean() const {
+  VFM_CHECK(!values_.empty());
+  double sum = 0;
+  for (uint64_t v : values_) {
+    sum += static_cast<double>(v);
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  VFM_CHECK(!values_.empty());
+  VFM_CHECK(p >= 0 && p <= 100);
+  EnsureSorted();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t index = static_cast<size_t>(std::llround(rank));
+  return values_[std::min(index, values_.size() - 1)];
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::DistributionReport() const {
+  static const double kPercentiles[] = {50, 75, 90, 95, 99, 99.9, 100};
+  std::vector<std::pair<double, uint64_t>> report;
+  for (double p : kPercentiles) {
+    report.emplace_back(p, Percentile(p));
+  }
+  return report;
+}
+
+}  // namespace vfm

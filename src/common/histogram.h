@@ -1,0 +1,38 @@
+// A latency histogram with percentile queries, used by the Memcached-style latency
+// benchmarks (paper Fig. 12) and available to any workload that records durations.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vfm {
+
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  size_t count() const { return values_.size(); }
+  uint64_t min() const;
+  uint64_t max() const;
+  double Mean() const;
+
+  // Returns the value at percentile p in [0, 100]. Sorts lazily.
+  uint64_t Percentile(double p) const;
+
+  // Returns (percentile, value) pairs for the standard latency-distribution report.
+  std::vector<std::pair<double, uint64_t>> DistributionReport() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<uint64_t> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

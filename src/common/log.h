@@ -1,0 +1,36 @@
+// Leveled logging for the library. Logging defaults to kWarn so tests and benches stay
+// quiet; examples raise the level to show boot progress.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdarg>
+
+namespace vfm {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging. `tag` identifies the subsystem (e.g. "monitor", "sim").
+void Logf(LogLevel level, const char* tag, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace vfm
+
+#define VFM_LOG_TRACE(tag, ...) ::vfm::Logf(::vfm::LogLevel::kTrace, tag, __VA_ARGS__)
+#define VFM_LOG_DEBUG(tag, ...) ::vfm::Logf(::vfm::LogLevel::kDebug, tag, __VA_ARGS__)
+#define VFM_LOG_INFO(tag, ...) ::vfm::Logf(::vfm::LogLevel::kInfo, tag, __VA_ARGS__)
+#define VFM_LOG_WARN(tag, ...) ::vfm::Logf(::vfm::LogLevel::kWarn, tag, __VA_ARGS__)
+#define VFM_LOG_ERROR(tag, ...) ::vfm::Logf(::vfm::LogLevel::kError, tag, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,74 @@
+// A small Result<T> type for fallible operations, used instead of exceptions.
+//
+// Result<T> holds either a value or an error message. Errors in this library are
+// programmer-facing (bad configuration, assembler errors, image construction failures);
+// architectural faults inside the simulated machine are modeled as trap causes, not as
+// Result errors.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace vfm {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value keeps call sites terse: `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result<T> Error(std::string message) { return Result<T>(std::move(message), ErrorTag{}); }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    VFM_CHECK_MSG(ok(), "Result::value() on error: %s", error_.c_str());
+    return *value_;
+  }
+  T& value() & {
+    VFM_CHECK_MSG(ok(), "Result::value() on error: %s", error_.c_str());
+    return *value_;
+  }
+  T&& value() && {
+    VFM_CHECK_MSG(ok(), "Result::value() on error: %s", error_.c_str());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    VFM_CHECK(!ok());
+    return error_;
+  }
+
+ private:
+  struct ErrorTag {};
+  Result(std::string message, ErrorTag) : error_(std::move(message)) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Result<void> analog: success or an error message.
+class Status {
+ public:
+  Status() = default;
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  explicit Status(std::string message) : error_(std::move(message)) {}
+  std::string error_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,261 @@
+#include "src/core/policies/ace.h"
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/common/hash.h"
+#include "src/common/log.h"
+#include "src/isa/sbi.h"
+
+namespace vfm {
+
+namespace {
+constexpr unsigned kA0 = 10;
+constexpr unsigned kA1 = 11;
+constexpr unsigned kA2 = 12;
+constexpr unsigned kA6 = 16;
+constexpr unsigned kA7 = 17;
+}  // namespace
+
+AcePolicy::AcePolicy(const AceConfig& config) : config_(config) {
+  cvms_.resize(config_.max_cvms);
+}
+
+void AcePolicy::OnInit(Monitor& monitor) {
+  VFM_CHECK_MSG(monitor.machine().config().isa.has_h_ext,
+                "the ACE policy requires the H extension");
+  running_.assign(monitor.machine().hart_count(), -1);
+  host_ctx_.resize(monitor.machine().hart_count());
+}
+
+PmpRegionRequest AcePolicy::PolicySlot(unsigned hart) {
+  if (running_[hart] >= 0) {
+    const Cvm& cvm = cvms_[static_cast<unsigned>(running_[hart])];
+    return {true, cvm.base, cvm.size, true, true, true};
+  }
+  for (const Cvm& cvm : cvms_) {
+    if (cvm.used) {
+      return {true, cvm.base, cvm.size, false, false, false};
+    }
+  }
+  return {};
+}
+
+bool AcePolicy::SuppressVpmp(unsigned hart) { return running_[hart] >= 0; }
+
+int64_t AcePolicy::CreateCvm(Monitor& monitor, uint64_t base, uint64_t size, uint64_t entry) {
+  if (!IsPowerOfTwo(size) || size < 4096 || !IsAligned(base, size) || entry < base ||
+      entry >= base + size) {
+    return SbiError::kInvalidParam;
+  }
+  for (const Cvm& cvm : cvms_) {
+    if (cvm.used) {
+      return SbiError::kDenied;  // one live CVM region per machine (single policy slot)
+    }
+  }
+  for (unsigned i = 0; i < cvms_.size(); ++i) {
+    if (cvms_[i].used) {
+      continue;
+    }
+    Cvm& cvm = cvms_[i];
+    cvm.used = true;
+    cvm.base = base;
+    cvm.size = size;
+    cvm.entry = entry;
+    cvm.started = false;
+    cvm.gprs.fill(0);
+    cvm.pc = entry;
+    cvm.vsatp = 0;
+    std::vector<uint8_t> image(size);
+    if (monitor.machine().bus().ReadBytes(base, image.data(), size)) {
+      cvm.measurement = Sha256::ToHex(Sha256::Digest(image.data(), image.size()));
+    }
+    for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+      monitor.RebuildPmp(monitor.machine().hart(h));
+    }
+    VFM_LOG_INFO("ace", "CVM %u created at 0x%llx (+0x%llx), measurement %s", i,
+                 static_cast<unsigned long long>(base), static_cast<unsigned long long>(size),
+                 cvm.measurement.c_str());
+    return static_cast<int64_t>(i);
+  }
+  return SbiError::kFailed;
+}
+
+void AcePolicy::EnterCvm(Monitor& monitor, unsigned hart, unsigned id, bool fresh) {
+  Hart& phys = monitor.machine().hart(hart);
+  Cvm& cvm = cvms_[id];
+  HostContext& host = host_ctx_[hart];
+
+  for (unsigned i = 0; i < 32; ++i) {
+    host.gprs[i] = phys.gpr(i);
+  }
+  host.resume_pc = phys.csrs().Get(kCsrMepc) + 4;
+  host.medeleg = phys.csrs().Get(kCsrMedeleg);
+
+  // CVM ecalls (from VS-mode, cause 10) must reach the policy: cause 10 is never in
+  // the delegable set we install, so it traps to M by construction. Guest page and
+  // access faults must also surface to the policy rather than the host.
+  phys.csrs().Set(kCsrMedeleg, 0);
+  phys.csrs().Set(kCsrHgatp, 0);  // bare guest-physical mapping (documented subset)
+  phys.csrs().Set(kCsrVsatp, cvm.vsatp);
+
+  if (fresh) {
+    cvm.gprs.fill(0);
+    cvm.gprs[kA0] = id;
+    cvm.pc = cvm.entry;
+    cvm.vsatp = 0;
+    cvm.started = true;
+  }
+  for (unsigned i = 1; i < 32; ++i) {
+    phys.set_gpr(i, cvm.gprs[i]);
+  }
+  running_[hart] = static_cast<int>(id);
+  monitor.RebuildPmp(phys);
+  monitor.ChargeTlbFlush(phys);
+  monitor.ChargeCsrAccesses(phys, 48);
+
+  phys.set_virt(true);  // VS-mode: virtualized supervisor
+  phys.set_priv(PrivMode::kSupervisor);
+  phys.set_pc(cvm.pc);
+}
+
+void AcePolicy::LeaveCvm(Monitor& monitor, unsigned hart, uint64_t status, uint64_t value,
+                         bool resumable) {
+  Hart& phys = monitor.machine().hart(hart);
+  const unsigned id = static_cast<unsigned>(running_[hart]);
+  Cvm& cvm = cvms_[id];
+  HostContext& host = host_ctx_[hart];
+
+  if (resumable) {
+    for (unsigned i = 0; i < 32; ++i) {
+      cvm.gprs[i] = phys.gpr(i);
+    }
+    cvm.pc = phys.csrs().Get(kCsrMepc);
+    cvm.vsatp = phys.csrs().Get(kCsrVsatp);
+  }
+  running_[hart] = -1;
+
+  for (unsigned i = 1; i < 32; ++i) {
+    phys.set_gpr(i, host.gprs[i]);
+  }
+  phys.csrs().Set(kCsrMedeleg, host.medeleg);
+  phys.set_gpr(kA0, value);
+  phys.set_gpr(kA1, status);
+  monitor.RebuildPmp(phys);
+  monitor.ChargeTlbFlush(phys);
+  monitor.ChargeCsrAccesses(phys, 48);
+
+  phys.set_virt(false);
+  phys.set_priv(PrivMode::kSupervisor);
+  phys.set_pc(host.resume_pc);
+}
+
+PolicyDecision AcePolicy::OnOsEcall(Monitor& monitor, unsigned hart) {
+  Hart& phys = monitor.machine().hart(hart);
+  const uint64_t cause = phys.csrs().Get(kCsrMcause);
+
+  // CVM-side calls: ecall from VS-mode.
+  if (running_[hart] >= 0 && cause == CauseValue(ExceptionCause::kEcallFromVs)) {
+    const uint64_t fid = phys.gpr(kA6);
+    if (phys.gpr(kA7) == kAceSbiExt && fid == AceFunc::kCvmExit) {
+      const uint64_t exit_value = phys.gpr(kA0);
+      const unsigned id = static_cast<unsigned>(running_[hart]);
+      LeaveCvm(monitor, hart, AceExitReason::kDone, exit_value, /*resumable=*/false);
+      cvms_[id].used = false;
+      for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+        monitor.RebuildPmp(monitor.machine().hart(h));
+      }
+      return PolicyDecision::kHandled;
+    }
+    if (phys.gpr(kA7) == kAceSbiExt && fid == AceFunc::kCvmYield) {
+      phys.csrs().Set(kCsrMepc, phys.csrs().Get(kCsrMepc) + 4);
+      LeaveCvm(monitor, hart, AceExitReason::kYielded, 0, /*resumable=*/true);
+      return PolicyDecision::kHandled;
+    }
+    // Foreign hypercalls are terminal: they must not leak CVM register state.
+    const unsigned id = static_cast<unsigned>(running_[hart]);
+    LeaveCvm(monitor, hart, AceExitReason::kDone, static_cast<uint64_t>(SbiError::kFailed),
+             /*resumable=*/false);
+    cvms_[id].used = false;
+    return PolicyDecision::kHandled;
+  }
+
+  if (phys.gpr(kA7) != kAceSbiExt || cause != CauseValue(ExceptionCause::kEcallFromS)) {
+    return PolicyDecision::kPassThrough;
+  }
+  switch (phys.gpr(kA6)) {
+    case AceFunc::kCreateCvm: {
+      const int64_t result = CreateCvm(monitor, phys.gpr(kA0), phys.gpr(kA1), phys.gpr(kA2));
+      phys.set_gpr(kA0, result < 0 ? static_cast<uint64_t>(result) : 0);
+      phys.set_gpr(kA1, result < 0 ? 0 : static_cast<uint64_t>(result));
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+    }
+    case AceFunc::kDestroyCvm: {
+      const uint64_t id = phys.gpr(kA0);
+      if (id < cvms_.size() && cvms_[id].used) {
+        cvms_[id].used = false;
+        for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+          monitor.RebuildPmp(monitor.machine().hart(h));
+        }
+        phys.set_gpr(kA0, 0);
+      } else {
+        phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kInvalidParam));
+      }
+      phys.set_gpr(kA1, 0);
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+    }
+    case AceFunc::kRunCvm: {
+      const uint64_t id = phys.gpr(kA0);
+      if (id >= cvms_.size() || !cvms_[id].used) {
+        phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kInvalidParam));
+        phys.set_gpr(kA1, 0);
+        monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+        return PolicyDecision::kHandled;
+      }
+      EnterCvm(monitor, hart, static_cast<unsigned>(id), !cvms_[id].started);
+      return PolicyDecision::kHandled;
+    }
+    default:
+      phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kNotSupported));
+      phys.set_gpr(kA1, 0);
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+  }
+}
+
+PolicyDecision AcePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
+                                   uint64_t tval) {
+  if (running_[hart] < 0) {
+    return PolicyDecision::kPassThrough;
+  }
+  if (cause == CauseValue(ExceptionCause::kEcallFromVs)) {
+    return PolicyDecision::kPassThrough;  // handled in OnOsEcall
+  }
+  // Any other fault escaping the CVM terminates it.
+  VFM_LOG_WARN("ace", "CVM fault on hart %u: cause=%llu tval=0x%llx", hart,
+               static_cast<unsigned long long>(cause), static_cast<unsigned long long>(tval));
+  const unsigned id = static_cast<unsigned>(running_[hart]);
+  LeaveCvm(monitor, hart, AceExitReason::kDone, static_cast<uint64_t>(SbiError::kFailed),
+           /*resumable=*/false);
+  cvms_[id].used = false;
+  return PolicyDecision::kHandled;
+}
+
+PolicyDecision AcePolicy::OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
+  (void)cause;
+  if (running_[hart] < 0) {
+    return PolicyDecision::kPassThrough;
+  }
+  Hart& phys = monitor.machine().hart(hart);
+  LeaveCvm(monitor, hart, AceExitReason::kInterrupted, 0, /*resumable=*/true);
+  phys.csrs().Set(kCsrMepc, phys.pc());
+  uint64_t mstatus = phys.csrs().mstatus();
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(PrivMode::kSupervisor));
+  mstatus = SetBit(mstatus, MstatusBits::kMpv, 0);
+  phys.csrs().set_mstatus(mstatus);
+  return PolicyDecision::kPassThrough;
+}
+
+}  // namespace vfm

@@ -1,0 +1,292 @@
+#include "src/core/policies/keystone.h"
+
+#include "src/common/bits.h"
+#include "src/common/hash.h"
+#include "src/common/log.h"
+#include "src/isa/sbi.h"
+
+namespace vfm {
+
+namespace {
+constexpr unsigned kA0 = 10;
+constexpr unsigned kA1 = 11;
+constexpr unsigned kA2 = 12;
+constexpr unsigned kA6 = 16;
+constexpr unsigned kA7 = 17;
+}  // namespace
+
+KeystonePolicy::KeystonePolicy(const KeystoneConfig& config) : config_(config) {
+  enclaves_.resize(config_.max_enclaves);
+}
+
+void KeystonePolicy::OnInit(Monitor& monitor) {
+  running_.assign(monitor.machine().hart_count(), -1);
+  host_ctx_.resize(monitor.machine().hart_count());
+}
+
+unsigned KeystonePolicy::enclave_count() const {
+  unsigned count = 0;
+  for (const Enclave& enclave : enclaves_) {
+    count += enclave.used ? 1 : 0;
+  }
+  return count;
+}
+
+PmpRegionRequest KeystonePolicy::PolicySlot(unsigned hart) {
+  // While an enclave runs on this hart, its region is open (RWX) and everything else
+  // is closed by SuppressVpmp. Otherwise every enclave region must be closed; with a
+  // single policy slot we close the union-covering region of the first active
+  // enclave — multiple concurrent enclaves on this simple slot model are rejected at
+  // creation time when their protection would alias.
+  if (running_[hart] >= 0) {
+    const Enclave& enclave = enclaves_[static_cast<unsigned>(running_[hart])];
+    return {true, enclave.base, enclave.size, true, true, true};
+  }
+  for (unsigned i = 0; i < enclaves_.size(); ++i) {
+    if (enclaves_[i].used) {
+      return {true, enclaves_[i].base, enclaves_[i].size, false, false, false};
+    }
+  }
+  return {};
+}
+
+bool KeystonePolicy::SuppressVpmp(unsigned hart) { return running_[hart] >= 0; }
+
+int64_t KeystonePolicy::CreateEnclave(Monitor& monitor, uint64_t base, uint64_t size,
+                                      uint64_t entry) {
+  if (!IsPowerOfTwo(size) || size < 4096 || !IsAligned(base, size)) {
+    return SbiError::kInvalidParam;
+  }
+  if (entry < base || entry >= base + size) {
+    return SbiError::kInvalidParam;
+  }
+  // A single policy PMP slot protects idle enclaves: only one live enclave region is
+  // supported per machine in this model (see PolicySlot).
+  for (const Enclave& enclave : enclaves_) {
+    if (enclave.used) {
+      return SbiError::kDenied;
+    }
+  }
+  for (unsigned i = 0; i < enclaves_.size(); ++i) {
+    if (enclaves_[i].used) {
+      continue;
+    }
+    Enclave& enclave = enclaves_[i];
+    enclave.used = true;
+    enclave.base = base;
+    enclave.size = size;
+    enclave.entry = entry;
+    enclave.started = false;
+    enclave.gprs.fill(0);
+    enclave.pc = entry;
+    std::vector<uint8_t> image(size);
+    if (monitor.machine().bus().ReadBytes(base, image.data(), size)) {
+      enclave.measurement = Sha256::ToHex(Sha256::Digest(image.data(), image.size()));
+    }
+    // Close the region immediately on all harts.
+    for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+      monitor.RebuildPmp(monitor.machine().hart(h));
+    }
+    VFM_LOG_INFO("keystone", "enclave %u created at 0x%llx (+0x%llx), measurement %s", i,
+                 static_cast<unsigned long long>(base), static_cast<unsigned long long>(size),
+                 enclave.measurement.c_str());
+    return static_cast<int64_t>(i);
+  }
+  return SbiError::kFailed;
+}
+
+void KeystonePolicy::EnterEnclave(Monitor& monitor, unsigned hart, unsigned eid, bool fresh) {
+  Hart& phys = monitor.machine().hart(hart);
+  Enclave& enclave = enclaves_[eid];
+  HostContext& host = host_ctx_[hart];
+
+  for (unsigned i = 0; i < 32; ++i) {
+    host.gprs[i] = phys.gpr(i);
+  }
+  host.resume_pc = phys.csrs().Get(kCsrMepc) + 4;
+  host.satp = phys.csrs().Get(kCsrSatp);
+  host.medeleg = phys.csrs().Get(kCsrMedeleg);
+
+  // Enclave ecalls (from U-mode) must reach the policy, not the OS: withdraw the
+  // delegation of ecall-from-U while the enclave runs.
+  phys.csrs().Set(kCsrMedeleg,
+                  host.medeleg & ~(uint64_t{1} << CauseValue(ExceptionCause::kEcallFromU)));
+  phys.csrs().Set(kCsrSatp, 0);  // enclaves run bare in their physical region
+
+  if (fresh) {
+    enclave.gprs.fill(0);
+    enclave.gprs[kA0] = eid;
+    enclave.pc = enclave.entry;
+    enclave.started = true;
+  }
+  for (unsigned i = 1; i < 32; ++i) {
+    phys.set_gpr(i, enclave.gprs[i]);
+  }
+  running_[hart] = static_cast<int>(eid);
+  monitor.RebuildPmp(phys);
+  monitor.ChargeTlbFlush(phys);
+  monitor.ChargeCsrAccesses(phys, 40);  // context switch cost
+
+  phys.set_priv(PrivMode::kUser);
+  phys.set_pc(enclave.pc);
+}
+
+void KeystonePolicy::LeaveEnclave(Monitor& monitor, unsigned hart, uint64_t status,
+                                  uint64_t value, bool resumable) {
+  Hart& phys = monitor.machine().hart(hart);
+  const unsigned eid = static_cast<unsigned>(running_[hart]);
+  Enclave& enclave = enclaves_[eid];
+  HostContext& host = host_ctx_[hart];
+
+  if (resumable) {
+    for (unsigned i = 0; i < 32; ++i) {
+      enclave.gprs[i] = phys.gpr(i);
+    }
+    enclave.pc = phys.csrs().Get(kCsrMepc);
+  }
+  running_[hart] = -1;
+
+  for (unsigned i = 1; i < 32; ++i) {
+    phys.set_gpr(i, host.gprs[i]);
+  }
+  phys.csrs().Set(kCsrSatp, host.satp);
+  phys.csrs().Set(kCsrMedeleg, host.medeleg);
+  phys.set_gpr(kA0, value);
+  phys.set_gpr(kA1, status);
+  monitor.RebuildPmp(phys);
+  monitor.ChargeTlbFlush(phys);
+  monitor.ChargeCsrAccesses(phys, 40);
+
+  phys.set_priv(PrivMode::kSupervisor);
+  phys.set_pc(host.resume_pc);
+}
+
+PolicyDecision KeystonePolicy::OnOsEcall(Monitor& monitor, unsigned hart) {
+  Hart& phys = monitor.machine().hart(hart);
+  if (phys.gpr(kA7) != kKeystoneSbiExt) {
+    return PolicyDecision::kPassThrough;
+  }
+  const uint64_t fid = phys.gpr(kA6);
+  const uint64_t cause = phys.csrs().Get(kCsrMcause);
+
+  // Enclave-side calls arrive as ecall-from-U while an enclave is running.
+  if (running_[hart] >= 0 && cause == CauseValue(ExceptionCause::kEcallFromU)) {
+    switch (fid) {
+      case KeystoneFunc::kExitEnclave: {
+        const uint64_t exit_value = phys.gpr(kA0);
+        const unsigned eid = static_cast<unsigned>(running_[hart]);
+        LeaveEnclave(monitor, hart, KeystoneExitReason::kDone, exit_value, /*resumable=*/false);
+        enclaves_[eid].used = false;
+        for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+          monitor.RebuildPmp(monitor.machine().hart(h));
+        }
+        return PolicyDecision::kHandled;
+      }
+      case KeystoneFunc::kStopEnclave: {
+        // Advance past the ecall before saving the resumable context.
+        phys.csrs().Set(kCsrMepc, phys.csrs().Get(kCsrMepc) + 4);
+        LeaveEnclave(monitor, hart, KeystoneExitReason::kYielded, 0, /*resumable=*/true);
+        return PolicyDecision::kHandled;
+      }
+      default:
+        LeaveEnclave(monitor, hart, KeystoneExitReason::kDone, SbiError::kNotSupported,
+                     /*resumable=*/false);
+        return PolicyDecision::kHandled;
+    }
+  }
+
+  // Host-side calls (from S-mode).
+  if (cause != CauseValue(ExceptionCause::kEcallFromS)) {
+    return PolicyDecision::kPassThrough;
+  }
+  switch (fid) {
+    case KeystoneFunc::kCreateEnclave: {
+      const int64_t result =
+          CreateEnclave(monitor, phys.gpr(kA0), phys.gpr(kA1), phys.gpr(kA2));
+      phys.set_gpr(kA0, result < 0 ? static_cast<uint64_t>(result) : 0);
+      phys.set_gpr(kA1, result < 0 ? 0 : static_cast<uint64_t>(result));
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+    }
+    case KeystoneFunc::kDestroyEnclave: {
+      const uint64_t eid = phys.gpr(kA0);
+      if (eid < enclaves_.size() && enclaves_[eid].used) {
+        enclaves_[eid].used = false;
+        for (unsigned h = 0; h < monitor.machine().hart_count(); ++h) {
+          monitor.RebuildPmp(monitor.machine().hart(h));
+        }
+        phys.set_gpr(kA0, 0);
+      } else {
+        phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kInvalidParam));
+      }
+      phys.set_gpr(kA1, 0);
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+    }
+    case KeystoneFunc::kRunEnclave:
+    case KeystoneFunc::kResumeEnclave: {
+      const uint64_t eid = phys.gpr(kA0);
+      const bool fresh = fid == KeystoneFunc::kRunEnclave;
+      if (eid >= enclaves_.size() || !enclaves_[eid].used ||
+          (!fresh && !enclaves_[eid].started)) {
+        phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kInvalidParam));
+        phys.set_gpr(kA1, 0);
+        monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+        return PolicyDecision::kHandled;
+      }
+      EnterEnclave(monitor, hart, static_cast<unsigned>(eid), fresh);
+      return PolicyDecision::kHandled;
+    }
+    default:
+      phys.set_gpr(kA0, static_cast<uint64_t>(SbiError::kNotSupported));
+      phys.set_gpr(kA1, 0);
+      monitor.ReturnToOs(phys, phys.csrs().Get(kCsrMepc) + 4);
+      return PolicyDecision::kHandled;
+  }
+}
+
+PolicyDecision KeystonePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
+                                        uint64_t tval) {
+  if (running_[hart] < 0) {
+    return PolicyDecision::kPassThrough;
+  }
+  // Non-ecall faults inside the enclave terminate it (the host sees a failure). An
+  // ecall to any foreign SBI extension is also terminal: letting it flow to the
+  // firmware or the fast path would leak enclave register state.
+  const bool foreign_ecall =
+      cause == CauseValue(ExceptionCause::kEcallFromU) &&
+      monitor.machine().hart(hart).gpr(kA7) != kKeystoneSbiExt;
+  if (cause != CauseValue(ExceptionCause::kEcallFromU) || foreign_ecall) {
+    VFM_LOG_WARN("keystone", "enclave fault on hart %u: cause=%llu tval=0x%llx", hart,
+                 static_cast<unsigned long long>(cause),
+                 static_cast<unsigned long long>(tval));
+    const unsigned eid = static_cast<unsigned>(running_[hart]);
+    LeaveEnclave(monitor, hart, KeystoneExitReason::kDone,
+                 static_cast<uint64_t>(SbiError::kFailed), /*resumable=*/false);
+    enclaves_[eid].used = false;
+    return PolicyDecision::kHandled;
+  }
+  return PolicyDecision::kPassThrough;  // enclave ecalls flow through OnOsEcall
+}
+
+PolicyDecision KeystonePolicy::OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
+  (void)cause;
+  if (running_[hart] < 0) {
+    return PolicyDecision::kPassThrough;
+  }
+  // Preemption: park the enclave as resumable, surface "interrupted" to the host, and
+  // let the monitor's normal interrupt handling run against the restored host
+  // context (the host resumes at its run/resume call site).
+  Hart& phys = monitor.machine().hart(hart);
+  LeaveEnclave(monitor, hart, KeystoneExitReason::kInterrupted, 0, /*resumable=*/true);
+  // LeaveEnclave set pc/priv for direct resume; re-point the trap return state so the
+  // monitor's interrupt path returns there instead of into the enclave.
+  phys.csrs().Set(kCsrMepc, phys.pc());
+  uint64_t mstatus = phys.csrs().mstatus();
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(PrivMode::kSupervisor));
+  phys.csrs().set_mstatus(mstatus);
+  return PolicyDecision::kPassThrough;
+}
+
+}  // namespace vfm

@@ -1,0 +1,99 @@
+// The policy-module interface (paper §5.1): isolation policies are structs that
+// implement optional hooks invoked on ecalls, traps, world switches, and interrupts,
+// and may claim PMP regions with higher priority than the virtual PMP entries.
+// Policies decouple M-mode virtualization from use-case-specific isolation — the
+// monitor provides mechanism, policies provide the security-monitor behaviour.
+
+#ifndef SRC_CORE_POLICY_H_
+#define SRC_CORE_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/vpmp.h"
+
+namespace vfm {
+
+class Monitor;
+
+enum class PolicyDecision {
+  kPassThrough,  // the monitor's default handling proceeds
+  kHandled,      // the policy consumed the event; the monitor skips default handling
+  kDeny,         // the policy forbids the action; the monitor applies its deny action
+};
+
+class PolicyModule {
+ public:
+  virtual ~PolicyModule() = default;
+  virtual const char* name() const = 0;
+
+  // Called once when the policy is attached to a monitor.
+  virtual void OnInit(Monitor& monitor) { (void)monitor; }
+
+  // -- The seven hooks (paper §5.1). -------------------------------------------------
+  // Three fire on events from the firmware, three on events from the OS, one on
+  // interrupts. Each may complement or override the monitor's behaviour via the
+  // returned decision.
+  virtual PolicyDecision OnFirmwareEcall(Monitor& monitor, unsigned hart) {
+    (void)monitor;
+    (void)hart;
+    return PolicyDecision::kPassThrough;
+  }
+  virtual PolicyDecision OnFirmwareTrap(Monitor& monitor, unsigned hart, uint64_t cause,
+                                        uint64_t tval) {
+    (void)monitor;
+    (void)hart;
+    (void)cause;
+    (void)tval;
+    return PolicyDecision::kPassThrough;
+  }
+  virtual void OnWorldSwitchToOs(Monitor& monitor, unsigned hart) {
+    (void)monitor;
+    (void)hart;
+  }
+  virtual PolicyDecision OnOsEcall(Monitor& monitor, unsigned hart) {
+    (void)monitor;
+    (void)hart;
+    return PolicyDecision::kPassThrough;
+  }
+  virtual PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
+                                  uint64_t tval) {
+    (void)monitor;
+    (void)hart;
+    (void)cause;
+    (void)tval;
+    return PolicyDecision::kPassThrough;
+  }
+  virtual void OnWorldSwitchToFirmware(Monitor& monitor, unsigned hart) {
+    (void)monitor;
+    (void)hart;
+  }
+  virtual PolicyDecision OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
+    (void)monitor;
+    (void)hart;
+    (void)cause;
+    return PolicyDecision::kPassThrough;
+  }
+
+  // -- PMP requests (policy PMPs take priority over virtual PMPs, §5.1). ------------
+  virtual PmpRegionRequest PolicySlot(unsigned hart) {
+    (void)hart;
+    return {};
+  }
+  // Replaces the firmware's all-memory default while vM-mode executes (sandbox
+  // lockdown, §5.2).
+  virtual std::optional<PmpRegionRequest> FirmwareDefaultOverride(unsigned hart) {
+    (void)hart;
+    return std::nullopt;
+  }
+  // While true, the virtual PMP entries and the all-memory default are withheld from
+  // the physical bank entirely (enclave / CVM execution).
+  virtual bool SuppressVpmp(unsigned hart) {
+    (void)hart;
+    return false;
+  }
+};
+
+}  // namespace vfm
+
+#endif  // SRC_CORE_POLICY_H_

@@ -1,0 +1,54 @@
+// The virtual CLINT: the only MMIO device the monitor must emulate (paper §4.3). It
+// multiplexes the machine timer and software interrupts between the monitor (which
+// uses them for the OS fast path) and the virtual firmware, and exposes the standard
+// CLINT register layout to firmware loads/stores that trap on the protected window.
+
+#ifndef SRC_CORE_VCLINT_H_
+#define SRC_CORE_VCLINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/dev/clint.h"
+
+namespace vfm {
+
+class VirtClint {
+ public:
+  VirtClint(Clint* phys, unsigned hart_count);
+
+  // Firmware-visible MMIO emulation. `offset` is relative to the CLINT base. Reads of
+  // mtime pass through to the physical timer; mtimecmp/msip hit virtual copies.
+  // Returns false for offsets/sizes the real device would reject.
+  bool Read(uint64_t offset, unsigned size, uint64_t* value) const;
+  bool Write(uint64_t offset, unsigned size, uint64_t value);
+
+  uint64_t mtime() const { return phys_->mtime(); }
+  uint64_t virtual_mtimecmp(unsigned hart) const { return vmtimecmp_[hart]; }
+  void set_virtual_mtimecmp(unsigned hart, uint64_t value) { vmtimecmp_[hart] = value; }
+  bool virtual_msip(unsigned hart) const { return vmsip_[hart]; }
+  void set_virtual_msip(unsigned hart, bool value) { vmsip_[hart] = value; }
+
+  // Whether the firmware's virtual timer / software interrupt is pending.
+  bool VirtualMtip(unsigned hart) const { return phys_->mtime() >= vmtimecmp_[hart]; }
+  bool VirtualMsip(unsigned hart) const { return vmsip_[hart]; }
+
+  // The deadline the physical comparator must be programmed to so that the monitor
+  // observes both the firmware's virtual deadline and the OS deadline it manages for
+  // the fast path (os_deadline = ~0 when the fast path owns no timer).
+  uint64_t PhysicalDeadline(unsigned hart, uint64_t os_deadline) const {
+    return std::min(vmtimecmp_[hart], os_deadline);
+  }
+
+  unsigned hart_count() const { return static_cast<unsigned>(vmtimecmp_.size()); }
+
+ private:
+  Clint* phys_;
+  std::vector<uint64_t> vmtimecmp_;
+  std::vector<bool> vmsip_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_CORE_VCLINT_H_

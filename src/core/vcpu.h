@@ -1,0 +1,79 @@
+// The virtual hart context: virtual privilege mode, virtual pc, the virtual CSR file,
+// and the privileged-instruction emulator that together implement the vM-mode of the
+// paper (§3.2, §4.1). The emulator here is a pure function of the virtual state and
+// the shared GPRs — no machine access — which is what makes it checkable against the
+// reference model (faithful emulation, Definition 1). The monitor (src/core/monitor)
+// wraps it with world-switch and device logic.
+
+#ifndef SRC_CORE_VCPU_H_
+#define SRC_CORE_VCPU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/vcsr.h"
+#include "src/isa/instr.h"
+#include "src/isa/priv.h"
+
+namespace vfm {
+
+enum class EmulationOutcome {
+  kAdvance,        // instruction emulated; virtual pc advances by 4
+  kRedirect,       // virtual pc changed (mret/sret staying at or above vM, trap vector)
+  kVirtualTrap,    // a virtual trap was entered; virtual pc now at the virtual handler
+  kReturnToLower,  // mret/sret dropped below vM-mode: the monitor must world-switch
+  kWfi,            // virtual hart executed wfi; the monitor parks the physical hart
+};
+
+struct EmulationResult {
+  EmulationOutcome outcome = EmulationOutcome::kAdvance;
+  uint64_t trap_cause = 0;      // for kVirtualTrap
+  PrivMode lower_priv = PrivMode::kSupervisor;  // for kReturnToLower
+  unsigned work_units = 1;      // HAL-operation count, for cycle accounting
+};
+
+class VirtContext {
+ public:
+  explicit VirtContext(const VhartConfig& config) : csrs_(config) {}
+
+  VCsrFile& csrs() { return csrs_; }
+  const VCsrFile& csrs() const { return csrs_; }
+
+  uint64_t pc() const { return pc_; }
+  void set_pc(uint64_t pc) { pc_ = pc; }
+  PrivMode priv() const { return priv_; }
+  void set_priv(PrivMode priv) { priv_ = priv; }
+
+  // Emulates one privileged instruction at the current virtual (pc, priv). `gprs` is
+  // the 32-entry shared register file (x0 writes are discarded). Illegal outcomes are
+  // resolved into virtual trap entries, mirroring hardware.
+  EmulationResult EmulatePrivileged(const DecodedInstr& instr, uint64_t* gprs);
+
+  // Architectural virtual trap entry (used for emulated faults and re-injection of OS
+  // traps and interrupts into the virtual firmware, §4.1).
+  void TakeVirtualTrap(uint64_t cause, uint64_t tval);
+
+  // The virtual interrupt that must be injected, if any: pending and enabled under
+  // the virtual mstatus/mie/mideleg (checked after each emulation per §4.1).
+  std::optional<uint64_t> PendingVirtualInterrupt() const;
+
+  // The subset the *monitor* may inject into vM-mode: virtual M-level interrupts
+  // (not delegated by the virtual mideleg). Delegated supervisor-level interrupts
+  // are delivered natively in direct execution through the physical mideleg — they
+  // must never be emulated in the firmware world.
+  std::optional<uint64_t> PendingVirtualMachineInterrupt() const;
+
+ private:
+  EmulationResult EmulateCsrOp(const DecodedInstr& instr, uint64_t* gprs);
+  EmulationResult EmulateMret();
+  EmulationResult EmulateSret();
+  EmulationResult IllegalInstr(const DecodedInstr& instr);
+
+  VCsrFile csrs_;
+  uint64_t pc_ = 0;
+  PrivMode priv_ = PrivMode::kMachine;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_CORE_VCPU_H_

@@ -1,0 +1,84 @@
+// A DMA-capable block device, used by the IOzone-style disk benchmarks (paper Fig. 11)
+// and by the sandbox policy's DMA-revocation tests (paper §4.3: the monitor blocks
+// firmware access to MMIO regions controlling DMA-capable devices).
+//
+// Register layout (all 8-byte, offsets from base):
+//   0x00 CMD     write 1 = read sectors into RAM, 2 = write sectors from RAM
+//   0x08 LBA     first 512-byte sector
+//   0x10 COUNT   sector count
+//   0x18 DMAADDR physical RAM address for the transfer
+//   0x20 STATUS  bit 0 = busy, bit 1 = done, bit 2 = error
+//   0x28 IRQACK  write 1 clears done + the PLIC line
+//
+// Commands complete after a configurable latency in device ticks; the machine calls
+// Tick() as simulated time advances, and completion raises the device's PLIC source.
+
+#ifndef SRC_DEV_BLOCKDEV_H_
+#define SRC_DEV_BLOCKDEV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dev/plic.h"
+#include "src/mem/bus.h"
+
+namespace vfm {
+
+class BlockDev : public MmioDevice {
+ public:
+  static constexpr uint64_t kSize = 0x1000;
+  static constexpr uint64_t kSectorSize = 512;
+
+  static constexpr uint64_t kRegCmd = 0x00;
+  static constexpr uint64_t kRegLba = 0x08;
+  static constexpr uint64_t kRegCount = 0x10;
+  static constexpr uint64_t kRegDmaAddr = 0x18;
+  static constexpr uint64_t kRegStatus = 0x20;
+  static constexpr uint64_t kRegIrqAck = 0x28;
+
+  static constexpr uint64_t kCmdRead = 1;
+  static constexpr uint64_t kCmdWrite = 2;
+
+  static constexpr uint64_t kStatusBusy = 1;
+  static constexpr uint64_t kStatusDone = 2;
+  static constexpr uint64_t kStatusError = 4;
+
+  // `capacity_sectors` bounds the disk; `latency_ticks` is the fixed command setup
+  // latency and `ticks_per_sector` the per-sector transfer time.
+  BlockDev(Bus* bus, Plic* plic, unsigned plic_source, uint64_t capacity_sectors,
+           uint64_t latency_ticks, uint64_t ticks_per_sector);
+
+  const char* name() const override { return "blockdev"; }
+  bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
+  bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+
+  // Advances device time; completes an in-flight command when its deadline passes.
+  void Tick(uint64_t now_ticks);
+
+  bool busy() const { return (status_ & kStatusBusy) != 0; }
+  uint64_t completed_commands() const { return completed_commands_; }
+
+ private:
+  void StartCommand(uint64_t cmd, uint64_t now_ticks);
+  void CompleteCommand();
+
+  Bus* bus_;
+  Plic* plic_;
+  unsigned plic_source_;
+  std::vector<uint8_t> disk_;
+  uint64_t latency_ticks_;
+  uint64_t ticks_per_sector_;
+
+  uint64_t lba_ = 0;
+  uint64_t count_ = 0;
+  uint64_t dma_addr_ = 0;
+  uint64_t status_ = 0;
+  uint64_t pending_cmd_ = 0;
+  uint64_t deadline_ = 0;
+  uint64_t last_tick_ = 0;
+  uint64_t completed_commands_ = 0;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_DEV_BLOCKDEV_H_

@@ -1,0 +1,56 @@
+// Core-Local Interruptor (CLINT): the machine-timer and software-interrupt device, and
+// the only MMIO device the monitor must emulate (paper §4.3). Layout follows the
+// de-facto SiFive CLINT standard used by both evaluation platforms:
+//   0x0000 + 4*hart : msip (software interrupt pending, bit 0)
+//   0x4000 + 8*hart : mtimecmp (64-bit timer deadline)
+//   0xBFF8          : mtime (64-bit free-running counter)
+
+#ifndef SRC_DEV_CLINT_H_
+#define SRC_DEV_CLINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/bus.h"
+
+namespace vfm {
+
+class Clint : public MmioDevice {
+ public:
+  static constexpr uint64_t kMsipBase = 0x0;
+  static constexpr uint64_t kMtimecmpBase = 0x4000;
+  static constexpr uint64_t kMtimeOffset = 0xBFF8;
+  static constexpr uint64_t kSize = 0xC000;
+
+  explicit Clint(unsigned hart_count);
+
+  const char* name() const override { return "clint"; }
+  bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
+  bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+
+  // Timer state, driven by the machine.
+  uint64_t mtime() const { return mtime_; }
+  void set_mtime(uint64_t value) { mtime_ = value; }
+  void AdvanceTime(uint64_t ticks) { mtime_ += ticks; }
+
+  uint64_t mtimecmp(unsigned hart) const { return mtimecmp_[hart]; }
+  void set_mtimecmp(unsigned hart, uint64_t value) { mtimecmp_[hart] = value; }
+
+  bool msip(unsigned hart) const { return msip_[hart]; }
+  void set_msip(unsigned hart, bool value) { msip_[hart] = value; }
+
+  // Interrupt lines the machine samples into each hart's mip.
+  bool MtipPending(unsigned hart) const { return mtime_ >= mtimecmp_[hart]; }
+  bool MsipPending(unsigned hart) const { return msip_[hart]; }
+
+  unsigned hart_count() const { return static_cast<unsigned>(mtimecmp_.size()); }
+
+ private:
+  uint64_t mtime_ = 0;
+  std::vector<uint64_t> mtimecmp_;
+  std::vector<bool> msip_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_DEV_CLINT_H_

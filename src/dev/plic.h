@@ -1,0 +1,55 @@
+// A minimal Platform-Level Interrupt Controller. Both evaluation platforms delegate
+// all external interrupts to the OS (paper §4.3: "other devices such as the PLIC ...
+// do not need emulation"), so this model implements just enough for an S-mode kernel
+// to take device interrupts: per-source pending bits, one enable word and a
+// claim/complete register for the supervisor context of each hart.
+//
+// Register layout (one 4-byte register each, simplified but documented):
+//   0x0000 + 4*src        priority (stored, otherwise ignored; priority 0 masks)
+//   0x1000                pending bitmap (sources 1..31)
+//   0x2000 + 0x80*hart    S-context enable bitmap
+//   0x200004 + 0x1000*hart claim (read) / complete (write)
+
+#ifndef SRC_DEV_PLIC_H_
+#define SRC_DEV_PLIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/bus.h"
+
+namespace vfm {
+
+class Plic : public MmioDevice {
+ public:
+  static constexpr uint64_t kSize = 0x400000;
+  static constexpr unsigned kMaxSources = 32;
+
+  explicit Plic(unsigned hart_count);
+
+  const char* name() const override { return "plic"; }
+  bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
+  bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+
+  // Device-side interface: raise or clear a source's interrupt line.
+  void RaiseSource(unsigned source);
+  void ClearSource(unsigned source);
+
+  // True if the supervisor context of `hart` has a claimable interrupt (drives SEIP).
+  bool SeipPending(unsigned hart) const;
+
+ private:
+  uint32_t ClaimableMask(unsigned hart) const;
+  void RebuildPriorityMask();
+
+  unsigned hart_count_;
+  uint32_t pending_ = 0;
+  uint32_t priority_mask_ = 0;
+  uint32_t claimed_ = 0;
+  std::vector<uint32_t> enable_;
+  uint32_t priority_[kMaxSources] = {};
+};
+
+}  // namespace vfm
+
+#endif  // SRC_DEV_PLIC_H_

@@ -1,0 +1,52 @@
+// Guest firmware image builders. These produce *real RV64 machine code* images that
+// the simulator executes in M-mode natively, or that the monitor deprivileges into
+// vM-mode — the monitor only ever sees the opaque binary, exactly as with vendor
+// firmware on real hardware (paper §2.1, §8.2).
+//
+// Two independent firmware implementations are provided, mirroring the paper's
+// evaluation with two vendor firmware plus RustSBI/Zephyr:
+//  - opensbi_sim: a full-featured SBI firmware (timer, IPI, rfence, HSM, console,
+//    misaligned emulation via MPRV, PMP setup, M-interrupt handlers);
+//  - minisbi:     an independent minimal firmware with a different internal design
+//    (single dispatch table, no HSM), standing in for RustSBI.
+
+#ifndef SRC_FIRMWARE_FIRMWARE_H_
+#define SRC_FIRMWARE_FIRMWARE_H_
+
+#include <cstdint>
+
+#include "src/asm/assembler.h"
+
+namespace vfm {
+
+struct FirmwareConfig {
+  uint64_t base = 0x8010'0000;       // load address (power-of-two aligned region)
+  unsigned hart_count = 1;
+  uint64_t clint_base = 0x200'0000;
+  uint64_t uart_base = 0x1000'0000;
+  uint64_t kernel_entry = 0x8040'0000;  // S-mode payload entered after init
+  bool print_banner = true;
+  // PMP entries the firmware programs at boot: entry 0 protects the firmware region
+  // from S/U-mode; entry 1 opens the rest of memory.
+  bool setup_pmp = true;
+  uint64_t protect_base = 0x8010'0000;
+  uint64_t protect_size = 1 << 20;
+  // On Sstc-capable platforms the firmware enables the supervisor timer comparator
+  // (menvcfg.STCE), after which the OS never calls it for timers again.
+  bool enable_sstc = false;
+};
+
+// Full-featured SBI firmware (the vendor-firmware stand-in).
+Image BuildOpenSbiSim(const FirmwareConfig& config);
+
+// Minimal independent firmware (the RustSBI stand-in). Single-hart operations only.
+Image BuildMiniSbi(const FirmwareConfig& config);
+
+// A micro firmware for the Table-4 style microbenchmarks: initializes, executes a
+// run of `csrw mscratch, x0` instructions (the emulation-cost probe), then drops to
+// the kernel; its trap handler returns immediately (world-switch round-trip probe).
+Image BuildMicroFirmware(const FirmwareConfig& config, unsigned probe_instructions);
+
+}  // namespace vfm
+
+#endif  // SRC_FIRMWARE_FIRMWARE_H_

@@ -1,0 +1,251 @@
+// minisbi: an independent, minimal SBI firmware (the RustSBI stand-in, paper §8.2).
+// Written from scratch with a different internal structure than opensbi_sim: a single
+// flat handler, only t-register scratch space, no HSM and no multi-hart fencing.
+// Exercises the monitor's claim that *independent* firmware implementations run
+// unmodified under virtualization.
+
+#include "src/firmware/firmware.h"
+
+#include "src/common/check.h"
+#include "src/isa/csr.h"
+#include "src/isa/sbi.h"
+
+namespace vfm {
+
+namespace {
+constexpr uint64_t kMppS = uint64_t{1} << 11;
+constexpr uint64_t kMppMask = uint64_t{3} << 11;
+constexpr uint64_t kStipBit = uint64_t{1} << 5;
+constexpr uint64_t kSsipBit = uint64_t{1} << 1;
+}  // namespace
+
+Image BuildMiniSbi(const FirmwareConfig& config) {
+  Assembler a(config.base);
+  const uint64_t clint_msip = config.clint_base;
+  const uint64_t clint_mtimecmp = config.clint_base + 0x4000;
+  const uint64_t clint_mtime = config.clint_base + 0xBFF8;
+
+  a.Bind("_start");
+  a.La(t0, "mini_frame");
+  a.Csrw(kCsrMscratch, t0);
+  a.La(t0, "mini_trap");
+  a.Csrw(kCsrMtvec, t0);
+  if (config.setup_pmp) {
+    a.Li(t0, (config.protect_base >> 2) | ((config.protect_size >> 3) - 1));
+    a.Csrw(CsrPmpaddr(0), t0);
+    a.Li(t0, ((uint64_t{1} << 55) >> 3) - 1);
+    a.Csrw(CsrPmpaddr(1), t0);
+    a.Li(t0, 0x1F18);
+    a.Csrw(CsrPmpcfg(0), t0);
+  }
+  // Delegate everything except illegal instruction, misaligned data, and ecall-S.
+  a.Li(t0, 0xB1FF & ~uint64_t{0x54});
+  a.Csrw(kCsrMedeleg, t0);
+  a.Li(t0, 0x222);
+  a.Csrw(kCsrMideleg, t0);
+  a.Li(t0, 0x88);
+  a.Csrw(kCsrMie, t0);
+  a.Li(t0, ~uint64_t{0});
+  a.Csrw(kCsrMcounteren, t0);
+  if (config.print_banner) {
+    a.La(t0, "mini_banner");
+    a.Li(t1, config.uart_base);
+    a.Bind("mb_loop");
+    a.Lbu(t2, t0, 0);
+    a.Beqz(t2, "mb_done");
+    a.Sb(t2, t1, 0);
+    a.Addi(t0, t0, 1);
+    a.J("mb_loop");
+    a.Bind("mb_done");
+  }
+  a.Li(t0, config.kernel_entry);
+  a.Csrw(kCsrMepc, t0);
+  a.Li(t0, kMppMask);
+  a.Csrc(kCsrMstatus, t0);
+  a.Li(t0, kMppS);
+  a.Csrs(kCsrMstatus, t0);
+  a.Csrr(a0, kCsrMhartid);
+  a.Li(a1, 0);
+  a.Mret();
+
+  // Trap handler: spill t0..t2 and a0/a1 into a static frame (single-hart firmware).
+  a.Align(4);
+  a.Bind("mini_trap");
+  a.Csrrw(t0, kCsrMscratch, t0);  // t0 = frame
+  a.Sd(t1, t0, 8);
+  a.Sd(t2, t0, 16);
+  a.Sd(t3, t0, 24);
+  a.Csrr(t1, kCsrMcause);
+  a.Blt(t1, zero, "mini_int");
+  a.Li(t2, 9);
+  a.Beq(t1, t2, "mini_ecall");
+  a.Li(t2, 2);
+  a.Beq(t1, t2, "mini_illegal");
+  a.J("mini_fatal");
+
+  a.Bind("mini_restore");
+  a.Ld(t1, t0, 8);
+  a.Ld(t2, t0, 16);
+  a.Ld(t3, t0, 24);
+  a.Csrrw(t0, kCsrMscratch, t0);  // restore t0, re-arm the frame pointer
+  a.Mret();
+
+  a.Bind("mini_int");
+  a.Slli(t1, t1, 1);
+  a.Srli(t1, t1, 1);
+  a.Li(t2, 7);
+  a.Beq(t1, t2, "mini_timer");
+  a.Li(t2, 3);
+  a.Beq(t1, t2, "mini_soft");
+  a.J("mini_restore");
+  a.Bind("mini_timer");
+  a.Li(t1, clint_mtimecmp);
+  a.Li(t2, -1);
+  a.Sd(t2, t1, 0);
+  a.Li(t1, kStipBit);
+  a.Csrs(kCsrMip, t1);
+  a.J("mini_restore");
+  a.Bind("mini_soft");
+  a.Li(t1, clint_msip);
+  a.Sw(zero, t1, 0);
+  a.Li(t1, kSsipBit);
+  a.Csrs(kCsrMip, t1);
+  a.J("mini_restore");
+
+  a.Bind("mini_ecall");
+  a.Csrr(t1, kCsrMepc);
+  a.Addi(t1, t1, 4);
+  a.Csrw(kCsrMepc, t1);
+  a.Li(t1, SbiExt::kTime);
+  a.Beq(a7, t1, "mini_settimer");
+  a.Li(t1, SbiExt::kIpi);
+  a.Beq(a7, t1, "mini_ipi");
+  a.Li(t1, SbiExt::kLegacyPutchar);
+  a.Beq(a7, t1, "mini_putchar");
+  a.Li(t1, SbiExt::kBase);
+  a.Beq(a7, t1, "mini_base");
+  a.Li(a0, static_cast<uint64_t>(SbiError::kNotSupported));
+  a.Li(a1, 0);
+  a.J("mini_restore");
+  a.Bind("mini_settimer");
+  a.Li(t1, clint_mtimecmp);
+  a.Sd(a0, t1, 0);
+  a.Li(t1, kStipBit);
+  a.Csrc(kCsrMip, t1);
+  a.Li(a0, 0);
+  a.Li(a1, 0);
+  a.J("mini_restore");
+  a.Bind("mini_ipi");
+  // Single-hart firmware: an IPI to ourselves raises SSIP directly.
+  a.Li(t1, kSsipBit);
+  a.Csrs(kCsrMip, t1);
+  a.Li(a0, 0);
+  a.Li(a1, 0);
+  a.J("mini_restore");
+  a.Bind("mini_putchar");
+  a.Li(t1, config.uart_base);
+  a.Sb(a0, t1, 0);
+  a.Li(a0, 0);
+  a.Li(a1, 0);
+  a.J("mini_restore");
+  a.Bind("mini_base");
+  a.Li(t1, SbiFunc::kGetImplId);
+  a.Beq(a6, t1, "mini_base_impl");
+  a.Li(a0, 0);
+  a.Li(a1, 0x0200'0000);  // spec version 2.0
+  a.J("mini_restore");
+  a.Bind("mini_base_impl");
+  a.Li(a0, 0);
+  a.Li(a1, 1000);  // minisbi implementation id
+  a.J("mini_restore");
+
+  // Time-read emulation: csrrs rd, time, x0 only; rd is handled for a0/a1/t-regs via
+  // the generic frame path of opensbi_sim — minisbi supports rd == a0 only, which is
+  // what standard rdtime-based kernels generate after register allocation here.
+  a.Bind("mini_illegal");
+  a.Csrr(t1, kCsrMtval);
+  a.Srli(t2, t1, 20);
+  a.Li(t3, 0xC01);
+  a.Bne(t2, t3, "mini_fatal");
+  a.Srli(t2, t1, 7);
+  a.Andi(t2, t2, 31);
+  a.Li(t3, 10);  // only rd == a0 is supported by this minimal firmware
+  a.Bne(t2, t3, "mini_fatal");
+  a.Li(t1, clint_mtime);
+  a.Ld(a0, t1, 0);
+  a.Csrr(t1, kCsrMepc);
+  a.Addi(t1, t1, 4);
+  a.Csrw(kCsrMepc, t1);
+  a.J("mini_restore");
+
+  a.Bind("mini_fatal");
+  a.Li(t1, config.uart_base);
+  a.Li(t2, '#');
+  a.Sb(t2, t1, 0);
+  a.Bind("mini_hang");
+  a.J("mini_hang");
+
+  a.Align(8);
+  a.Bind("mini_banner");
+  a.Asciz("minisbi 0.1\n");
+  a.Align(8);
+  a.Bind("mini_frame");
+  a.Zero(64);
+
+  Result<Image> image = a.Finish();
+  VFM_CHECK_MSG(image.ok(), "minisbi assembly failed: %s", image.error().c_str());
+  return std::move(image).value();
+}
+
+Image BuildMicroFirmware(const FirmwareConfig& config, unsigned probe_instructions) {
+  Assembler a(config.base);
+
+  a.Bind("_start");
+  a.La(t0, "micro_trap");
+  a.Csrw(kCsrMtvec, t0);
+  if (config.setup_pmp) {
+    a.Li(t0, ((uint64_t{1} << 55) >> 3) - 1);
+    a.Csrw(CsrPmpaddr(0), t0);
+    a.Li(t0, 0x1F);
+    a.Csrw(CsrPmpcfg(0), t0);
+  }
+  a.Li(t0, 0);
+  a.Csrw(kCsrMedeleg, t0);  // nothing delegated: every OS trap round-trips here
+  a.Li(t0, 0x222);
+  a.Csrw(kCsrMideleg, t0);
+  a.Li(t0, ~uint64_t{0});
+  a.Csrw(kCsrMcounteren, t0);
+  // The emulation-cost probe: a run of privileged writes, each of which traps to the
+  // monitor when virtualized (Table 4's "csrw mscratch, x0" measurement).
+  for (unsigned i = 0; i < probe_instructions; ++i) {
+    a.Csrw(kCsrMscratch, zero);
+  }
+  a.Li(t0, config.kernel_entry);
+  a.Csrw(kCsrMepc, t0);
+  a.Li(t0, uint64_t{3} << 11);
+  a.Csrc(kCsrMstatus, t0);
+  a.Li(t0, uint64_t{1} << 11);
+  a.Csrs(kCsrMstatus, t0);
+  a.Csrr(a0, kCsrMhartid);
+  a.Li(a1, 0);
+  a.Mret();
+
+  // Minimal trap handler: acknowledge and return (world-switch round-trip probe).
+  a.Align(4);
+  a.Bind("micro_trap");
+  a.Csrr(t0, kCsrMcause);
+  a.Blt(t0, zero, "micro_ret");  // interrupts: just return
+  a.Csrr(t0, kCsrMepc);
+  a.Addi(t0, t0, 4);
+  a.Csrw(kCsrMepc, t0);
+  a.Li(a0, 0);
+  a.Li(a1, 0);
+  a.Bind("micro_ret");
+  a.Mret();
+
+  Result<Image> image = a.Finish();
+  VFM_CHECK_MSG(image.ok(), "micro firmware assembly failed: %s", image.error().c_str());
+  return std::move(image).value();
+}
+
+}  // namespace vfm

@@ -1,0 +1,577 @@
+// opensbi_sim: the vendor-firmware stand-in. A complete SBI machine-mode firmware
+// written as real RV64 guest code: per-hart trap frames, full GPR save/restore, SBI
+// dispatch (BASE, TIME, IPI, RFENCE, HSM, legacy console), CLINT drivers, time-CSR
+// read emulation, misaligned load/store emulation through mstatus.MPRV, PMP setup,
+// and secondary-hart parking. Structure intentionally mirrors how OpenSBI operates on
+// the paper's evaluation platforms (§8.2), so that under the monitor every one of the
+// paper's five dominant trap causes (§3.4) flows through the same machinery.
+
+#include "src/firmware/firmware.h"
+
+#include "src/common/check.h"
+#include "src/isa/csr.h"
+#include "src/isa/sbi.h"
+
+namespace vfm {
+
+namespace {
+
+// mstatus bit constants used by the firmware code.
+constexpr uint64_t kMppS = uint64_t{1} << 11;
+constexpr uint64_t kMppMask = uint64_t{3} << 11;
+constexpr uint64_t kMprv = uint64_t{1} << 17;
+constexpr uint64_t kStipBit = uint64_t{1} << 5;
+constexpr uint64_t kSsipBit = uint64_t{1} << 1;
+
+// Exceptions the firmware delegates to the OS: fetch misaligned/access, breakpoint,
+// load/store access, ecall-from-U, and page faults. Illegal instruction (time reads)
+// and misaligned loads/stores stay in M-mode for emulation.
+constexpr uint64_t kMedeleg = (uint64_t{1} << 0) | (uint64_t{1} << 1) | (uint64_t{1} << 3) |
+                              (uint64_t{1} << 5) | (uint64_t{1} << 7) | (uint64_t{1} << 8) |
+                              (uint64_t{1} << 12) | (uint64_t{1} << 13) | (uint64_t{1} << 15);
+constexpr uint64_t kMideleg = (uint64_t{1} << 1) | (uint64_t{1} << 5) | (uint64_t{1} << 9);
+constexpr uint64_t kMie = (uint64_t{1} << 7) | (uint64_t{1} << 3);  // MTIE | MSIE
+
+uint64_t NapotValue(uint64_t base, uint64_t size) { return (base >> 2) | ((size >> 3) - 1); }
+
+// Emits the per-hart common initialization: mscratch, mtvec, PMP, delegation.
+void EmitHartInit(Assembler& a, const FirmwareConfig& config) {
+  // mscratch = frames + hartid * 256.
+  a.Csrr(t0, kCsrMhartid);
+  a.La(t1, "fw_frames");
+  a.Slli(t2, t0, 8);
+  a.Add(t1, t1, t2);
+  a.Csrw(kCsrMscratch, t1);
+  a.La(t1, "fw_trap_vector");
+  a.Csrw(kCsrMtvec, t1);
+  if (config.setup_pmp) {
+    // PMP 0: firmware region, no S/U access. PMP 1: everything, RWX.
+    a.Li(t1, NapotValue(config.protect_base, config.protect_size));
+    a.Csrw(CsrPmpaddr(0), t1);
+    a.Li(t1, NapotValue(0, uint64_t{1} << 55));
+    a.Csrw(CsrPmpaddr(1), t1);
+    a.Li(t1, 0x1F18);  // entry 0: NAPOT ---, entry 1: NAPOT RWX
+    a.Csrw(CsrPmpcfg(0), t1);
+  }
+  a.Li(t1, kMedeleg);
+  a.Csrw(kCsrMedeleg, t1);
+  a.Li(t1, kMideleg);
+  a.Csrw(kCsrMideleg, t1);
+  a.Li(t1, kMie);
+  a.Csrw(kCsrMie, t1);
+  a.Li(t1, ~uint64_t{0});
+  a.Csrw(kCsrMcounteren, t1);
+  if (config.enable_sstc) {
+    a.Li(t1, uint64_t{1} << 63);  // menvcfg.STCE
+    a.Csrs(kCsrMenvcfg, t1);
+  }
+}
+
+// Emits an mret into S-mode at the address in t1, passing hartid in a0 and t2 in a1.
+void EmitEnterSupervisor(Assembler& a) {
+  a.Csrw(kCsrMepc, t1);
+  a.Li(t3, kMppMask);
+  a.Csrc(kCsrMstatus, t3);
+  a.Li(t3, kMppS);
+  a.Csrs(kCsrMstatus, t3);
+  a.Csrr(a0, kCsrMhartid);
+  a.Mv(a1, t2);
+  a.Mret();
+}
+
+// Emits a busy UART banner write of `text` (polls LSR, then writes THR).
+void EmitBanner(Assembler& a, const FirmwareConfig& config, const std::string& text,
+                const std::string& label) {
+  a.La(t0, label + "_str");
+  a.Li(t1, config.uart_base);
+  a.Bind(label + "_loop");
+  a.Lbu(t2, t0, 0);
+  a.Beqz(t2, label + "_done");
+  a.Sb(t2, t1, 0);
+  a.Addi(t0, t0, 1);
+  a.J(label + "_loop");
+  a.Bind(label + "_done");
+  // The string bytes live in the data section emitted later; record the text.
+  (void)text;
+}
+
+}  // namespace
+
+Image BuildOpenSbiSim(const FirmwareConfig& config) {
+  VFM_CHECK(config.hart_count >= 1 && config.hart_count <= 64);
+  Assembler a(config.base);
+  const unsigned harts = config.hart_count;
+  const uint64_t clint_msip = config.clint_base + 0x0;
+  const uint64_t clint_mtimecmp = config.clint_base + 0x4000;
+  const uint64_t clint_mtime = config.clint_base + 0xBFF8;
+
+  // ------------------------------------------------------------------ entry
+  a.Bind("_start");
+  EmitHartInit(a, config);
+  a.Csrr(t0, kCsrMhartid);
+  a.Bnez(t0, "secondary_park");
+
+  if (config.print_banner) {
+    EmitBanner(a, config, "opensbi-sim 1.0\n", "banner");
+  }
+
+  // Enter the S-mode payload (the bootloader/kernel), Figure 9's last arrow.
+  a.Li(t1, config.kernel_entry);
+  a.Li(t2, 0);
+  EmitEnterSupervisor(a);
+
+  // -------------------------------------------------------- secondary park
+  // Secondaries spin on their HSM start flag (written by sbi_hsm_start), then enter
+  // S-mode at the requested address.
+  a.Bind("secondary_park");
+  a.Csrr(t0, kCsrMhartid);
+  a.La(t1, "fw_hsm_flags");
+  a.Slli(t2, t0, 3);
+  a.Add(t1, t1, t2);
+  a.Bind("park_loop");
+  a.Ld(t3, t1, 0);
+  a.Beqz(t3, "park_loop");
+  a.Sd(zero, t1, 0);  // consume the flag
+  // Acknowledge any wakeup IPI.
+  a.Li(t4, clint_msip);
+  a.Slli(t5, t0, 2);
+  a.Add(t4, t4, t5);
+  a.Sw(zero, t4, 0);
+  // Fetch start address and opaque argument.
+  a.La(t3, "fw_hsm_addrs");
+  a.Slli(t5, t0, 3);
+  a.Add(t3, t3, t5);
+  a.Ld(t1, t3, 0);
+  a.La(t3, "fw_hsm_opaques");
+  a.Add(t3, t3, t5);
+  a.Ld(t2, t3, 0);
+  EmitEnterSupervisor(a);
+
+  // ------------------------------------------------------------ trap vector
+  // Full GPR save into the per-hart frame (x1..x31 at slot offsets 8*i).
+  a.Align(4);
+  a.Bind("fw_trap_vector");
+  a.Csrrw(t6, kCsrMscratch, t6);  // t6 = frame; mscratch = old t6
+  for (unsigned reg = 1; reg <= 30; ++reg) {
+    a.Sd(static_cast<Reg>(reg), t6, static_cast<int32_t>(8 * reg));
+  }
+  a.Csrrw(t5, kCsrMscratch, t6);  // t5 = old t6; mscratch = frame again
+  a.Sd(t5, t6, 8 * 31);
+
+  a.Csrr(s0, kCsrMcause);
+  a.Blt(s0, zero, "handle_interrupt");
+  a.Li(t0, 9);
+  a.Beq(s0, t0, "handle_ecall");
+  a.Li(t0, 8);
+  a.Beq(s0, t0, "handle_ecall");
+  a.Li(t0, 2);
+  a.Beq(s0, t0, "handle_illegal");
+  a.Li(t0, 4);
+  a.Beq(s0, t0, "handle_mis_load");
+  a.Li(t0, 6);
+  a.Beq(s0, t0, "handle_mis_store");
+  a.J("fatal");
+
+  // -------------------------------------------------------------- restore
+  a.Bind("restore");
+  for (unsigned reg = 1; reg <= 30; ++reg) {
+    a.Ld(static_cast<Reg>(reg), t6, static_cast<int32_t>(8 * reg));
+  }
+  a.Ld(t6, t6, 8 * 31);
+  a.Mret();
+
+  // ------------------------------------------------------------ interrupts
+  a.Bind("handle_interrupt");
+  a.Slli(s0, s0, 1);
+  a.Srli(s0, s0, 1);
+  a.Li(t0, 7);
+  a.Beq(s0, t0, "handle_mtimer");
+  a.Li(t0, 3);
+  a.Beq(s0, t0, "handle_msoft");
+  a.J("restore");  // spurious
+
+  // Machine timer: silence the comparator, raise the supervisor timer interrupt.
+  a.Bind("handle_mtimer");
+  a.Csrr(t0, kCsrMhartid);
+  a.Slli(t0, t0, 3);
+  a.Li(t1, clint_mtimecmp);
+  a.Add(t1, t1, t0);
+  a.Li(t2, -1);
+  a.Sd(t2, t1, 0);
+  a.Li(t0, kStipBit);
+  a.Csrs(kCsrMip, t0);
+  a.J("restore");
+
+  // Machine software interrupt: acknowledge; remote fence request or IPI for the OS.
+  a.Bind("handle_msoft");
+  a.Csrr(t0, kCsrMhartid);
+  a.Slli(t1, t0, 2);
+  a.Li(t2, clint_msip);
+  a.Add(t2, t2, t1);
+  a.Sw(zero, t2, 0);
+  a.La(t1, "fw_rfence_flags");
+  a.Slli(t3, t0, 3);
+  a.Add(t1, t1, t3);
+  a.Ld(t4, t1, 0);
+  a.Beqz(t4, "msoft_ssip");
+  a.SfenceVma();
+  a.Sd(zero, t1, 0);
+  a.J("restore");
+  a.Bind("msoft_ssip");
+  a.Li(t0, kSsipBit);
+  a.Csrs(kCsrMip, t0);
+  a.J("restore");
+
+  // ----------------------------------------------------------------- ecall
+  a.Bind("handle_ecall");
+  a.Csrr(t0, kCsrMepc);
+  a.Addi(t0, t0, 4);
+  a.Csrw(kCsrMepc, t0);
+  a.Ld(s1, t6, 8 * 17);  // a7: extension
+  a.Ld(s2, t6, 8 * 16);  // a6: function
+  a.Li(t0, SbiExt::kTime);
+  a.Beq(s1, t0, "sbi_time");
+  a.Li(t0, SbiExt::kIpi);
+  a.Beq(s1, t0, "sbi_ipi");
+  a.Li(t0, SbiExt::kRfence);
+  a.Beq(s1, t0, "sbi_rfence");
+  a.Li(t0, SbiExt::kBase);
+  a.Beq(s1, t0, "sbi_base");
+  a.Li(t0, SbiExt::kHsm);
+  a.Beq(s1, t0, "sbi_hsm");
+  a.Li(t0, SbiExt::kLegacyPutchar);
+  a.Beq(s1, t0, "sbi_putchar");
+  a.Li(t0, SbiExt::kLegacyGetchar);
+  a.Beq(s1, t0, "sbi_getchar");
+  a.Li(t0, SbiExt::kSrst);
+  a.Beq(s1, t0, "sbi_srst");
+  // Unknown extension.
+  a.Li(t0, static_cast<uint64_t>(SbiError::kNotSupported));
+  a.Sd(t0, t6, 8 * 10);
+  a.Sd(zero, t6, 8 * 11);
+  a.J("restore");
+
+  // sbi ret helper: jump targets write a0/a1 then fall through to restore via J.
+  // set_timer(deadline): program the CLINT, clear the pending supervisor timer.
+  a.Bind("sbi_time");
+  a.Ld(t0, t6, 8 * 10);
+  a.Csrr(t1, kCsrMhartid);
+  a.Slli(t1, t1, 3);
+  a.Li(t2, clint_mtimecmp);
+  a.Add(t2, t2, t1);
+  a.Sd(t0, t2, 0);
+  a.Li(t0, kStipBit);
+  a.Csrc(kCsrMip, t0);
+  a.J("sbi_ret_ok");
+
+  // send_ipi(mask, base): raise msip on each target through the CLINT.
+  a.Bind("sbi_ipi");
+  a.Ld(s3, t6, 8 * 10);  // mask
+  a.Ld(s4, t6, 8 * 11);  // base
+  a.Li(s5, 0);
+  a.Bind("ipi_loop");
+  a.Li(t0, harts);
+  a.Bgeu(s5, t0, "sbi_ret_ok");
+  a.Srl(t0, s3, s5);
+  a.Andi(t0, t0, 1);
+  a.Beqz(t0, "ipi_next");
+  a.Add(t1, s4, s5);
+  a.Li(t0, harts);
+  a.Bgeu(t1, t0, "ipi_next");
+  a.Li(t2, clint_msip);
+  a.Slli(t3, t1, 2);
+  a.Add(t2, t2, t3);
+  a.Li(t4, 1);
+  a.Sw(t4, t2, 0);
+  a.Bind("ipi_next");
+  a.Addi(s5, s5, 1);
+  a.J("ipi_loop");
+
+  // remote fence (fence.i / sfence.vma): flag each target, IPI it, wait for acks.
+  a.Bind("sbi_rfence");
+  a.Ld(s3, t6, 8 * 10);  // mask
+  a.Ld(s4, t6, 8 * 11);  // base
+  a.Csrr(s5, kCsrMhartid);
+  a.Li(s6, 0);
+  a.Bind("rf_loop");
+  a.Li(t0, harts);
+  a.Bgeu(s6, t0, "rf_wait");
+  a.Srl(t0, s3, s6);
+  a.Andi(t0, t0, 1);
+  a.Beqz(t0, "rf_next");
+  a.Add(t1, s4, s6);
+  a.Li(t0, harts);
+  a.Bgeu(t1, t0, "rf_next");
+  a.Beq(t1, s5, "rf_local");
+  a.La(t2, "fw_rfence_flags");
+  a.Slli(t3, t1, 3);
+  a.Add(t2, t2, t3);
+  a.Li(t4, 1);
+  a.Sd(t4, t2, 0);
+  a.Li(t2, clint_msip);
+  a.Slli(t3, t1, 2);
+  a.Add(t2, t2, t3);
+  a.Sw(t4, t2, 0);
+  a.J("rf_next");
+  a.Bind("rf_local");
+  a.SfenceVma();
+  a.Bind("rf_next");
+  a.Addi(s6, s6, 1);
+  a.J("rf_loop");
+  // Wait only for the harts this call targeted: scanning every flag would pick up
+  // requests other initiators aimed at *us*, which we can only acknowledge after
+  // returning — a guaranteed deadlock under concurrent remote fences.
+  a.Bind("rf_wait");
+  a.Li(s6, 0);
+  a.Bind("rfw_loop");
+  a.Li(t0, harts);
+  a.Bgeu(s6, t0, "sbi_ret_ok");
+  a.Srl(t0, s3, s6);
+  a.Andi(t0, t0, 1);
+  a.Beqz(t0, "rfw_next");
+  a.Add(t1, s4, s6);
+  a.Li(t0, harts);
+  a.Bgeu(t1, t0, "rfw_next");
+  a.Beq(t1, s5, "rfw_next");  // the local fence completed synchronously
+  a.La(t2, "fw_rfence_flags");
+  a.Slli(t3, t1, 3);
+  a.Add(t2, t2, t3);
+  a.Ld(t4, t2, 0);
+  a.Bnez(t4, "rf_wait");  // restart the scan until every target acknowledged
+  a.Bind("rfw_next");
+  a.Addi(s6, s6, 1);
+  a.J("rfw_loop");
+
+  // base extension: version/impl/probe.
+  a.Bind("sbi_base");
+  a.Li(t0, SbiFunc::kProbeExtension);
+  a.Beq(s2, t0, "base_probe");
+  a.Li(t0, SbiFunc::kGetImplId);
+  a.Beq(s2, t0, "base_impl");
+  a.Li(t1, 0x0200'0000);  // spec version 2.0 for everything else
+  a.Sd(zero, t6, 8 * 10);
+  a.Sd(t1, t6, 8 * 11);
+  a.J("restore");
+  a.Bind("base_probe");
+  a.Li(t1, 1);
+  a.Sd(zero, t6, 8 * 10);
+  a.Sd(t1, t6, 8 * 11);
+  a.J("restore");
+  a.Bind("base_impl");
+  a.Li(t1, 999);  // opensbi-sim implementation id
+  a.Sd(zero, t6, 8 * 10);
+  a.Sd(t1, t6, 8 * 11);
+  a.J("restore");
+
+  // HSM: hart_start(hartid, start_addr, opaque) / get_status(hartid).
+  a.Bind("sbi_hsm");
+  a.Li(t0, SbiFunc::kHartStart);
+  a.Beq(s2, t0, "hsm_start");
+  a.Li(t0, SbiFunc::kHartGetStatus);
+  a.Beq(s2, t0, "sbi_ret_ok");
+  a.Li(t0, static_cast<uint64_t>(SbiError::kNotSupported));
+  a.Sd(t0, t6, 8 * 10);
+  a.Sd(zero, t6, 8 * 11);
+  a.J("restore");
+  a.Bind("hsm_start");
+  a.Ld(t0, t6, 8 * 10);  // target hart
+  a.Li(t1, harts);
+  a.Bgeu(t0, t1, "hsm_bad");
+  a.Ld(t1, t6, 8 * 11);  // start address
+  a.Ld(t2, t6, 8 * 12);  // opaque
+  a.La(t3, "fw_hsm_addrs");
+  a.Slli(t4, t0, 3);
+  a.Add(t3, t3, t4);
+  a.Sd(t1, t3, 0);
+  a.La(t3, "fw_hsm_opaques");
+  a.Add(t3, t3, t4);
+  a.Sd(t2, t3, 0);
+  a.Fence();
+  a.La(t3, "fw_hsm_flags");
+  a.Add(t3, t3, t4);
+  a.Li(t5, 1);
+  a.Sd(t5, t3, 0);
+  a.J("sbi_ret_ok");
+  a.Bind("hsm_bad");
+  a.Li(t0, static_cast<uint64_t>(SbiError::kInvalidParam));
+  a.Sd(t0, t6, 8 * 10);
+  a.Sd(zero, t6, 8 * 11);
+  a.J("restore");
+
+  // Legacy console.
+  a.Bind("sbi_putchar");
+  a.Ld(t0, t6, 8 * 10);
+  a.Li(t1, config.uart_base);
+  a.Sb(t0, t1, 0);
+  a.J("sbi_ret_ok");
+  a.Bind("sbi_getchar");
+  a.Li(t1, config.uart_base);
+  a.Lbu(t0, t1, 5);  // LSR
+  a.Andi(t0, t0, 1);
+  a.Beqz(t0, "getchar_empty");
+  a.Lbu(t0, t1, 0);
+  a.Sd(zero, t6, 8 * 10);
+  a.Sd(t0, t6, 8 * 11);
+  a.J("restore");
+  a.Bind("getchar_empty");
+  a.Li(t0, static_cast<uint64_t>(SbiError::kFailed));
+  a.Sd(t0, t6, 8 * 10);
+  a.Sd(zero, t6, 8 * 11);
+  a.J("restore");
+
+  // System reset: this firmware has no platform reset hook; report and park.
+  a.Bind("sbi_srst");
+  a.J("fatal");
+
+  a.Bind("sbi_ret_ok");
+  a.Sd(zero, t6, 8 * 10);
+  a.Sd(zero, t6, 8 * 11);
+  a.J("restore");
+
+  // ------------------------------------------------ time-CSR read emulation
+  // Illegal instruction: the only pattern this firmware emulates is csrrs rd, time,
+  // x0 (rdtime), matching the platforms where the time CSR traps (§3.4).
+  a.Bind("handle_illegal");
+  a.Csrr(s1, kCsrMtval);
+  a.Srli(t0, s1, 20);
+  a.Li(t1, 0xC01);
+  a.Bne(t0, t1, "fatal");
+  a.Srli(t0, s1, 12);
+  a.Andi(t0, t0, 7);
+  a.Li(t1, 2);  // funct3 = csrrs
+  a.Bne(t0, t1, "fatal");
+  a.Srli(t0, s1, 15);
+  a.Andi(t0, t0, 31);
+  a.Bnez(t0, "fatal");  // rs1 must be x0
+  a.Srli(s2, s1, 7);
+  a.Andi(s2, s2, 31);  // rd
+  a.Li(t0, clint_mtime);
+  a.Ld(t3, t0, 0);
+  a.Beqz(s2, "time_done");
+  a.Slli(s2, s2, 3);
+  a.Add(s2, s2, t6);
+  a.Sd(t3, s2, 0);
+  a.Bind("time_done");
+  a.Csrr(t0, kCsrMepc);
+  a.Addi(t0, t0, 4);
+  a.Csrw(kCsrMepc, t0);
+  a.J("restore");
+
+  // --------------------------------------- misaligned load/store emulation
+  // Fetch the faulting instruction and move bytes through mstatus.MPRV, i.e. through
+  // the OS page tables (§4.2's MPRV mechanism, which the monitor itself emulates).
+  a.Bind("handle_mis_load");
+  a.Csrr(s1, kCsrMepc);
+  a.Li(t0, kMprv);
+  a.Csrs(kCsrMstatus, t0);
+  a.Lwu(s2, s1, 0);  // faulting instruction word (via MPRV)
+  a.Csrc(kCsrMstatus, t0);
+  a.Csrr(s3, kCsrMtval);  // misaligned address
+  a.Srli(s4, s2, 12);
+  a.Andi(s4, s4, 7);  // funct3
+  a.Andi(t0, s4, 3);
+  a.Li(t1, 1);
+  a.Sll(s5, t1, t0);  // size = 1 << (funct3 & 3)
+  // Assemble bytes, lowest first, into s6.
+  a.Li(s6, 0);
+  a.Li(s7, 0);  // index
+  a.Li(t0, kMprv);
+  a.Csrs(kCsrMstatus, t0);
+  a.Bind("mld_loop");
+  a.Bgeu(s7, s5, "mld_done");
+  a.Add(t1, s3, s7);
+  a.Lbu(t2, t1, 0);
+  a.Slli(t3, s7, 3);
+  a.Sll(t2, t2, t3);
+  a.Or(s6, s6, t2);
+  a.Addi(s7, s7, 1);
+  a.J("mld_loop");
+  a.Bind("mld_done");
+  a.Li(t0, kMprv);
+  a.Csrc(kCsrMstatus, t0);
+  // Sign-extend when funct3 < 4 (lh/lw; ld needs none).
+  a.Li(t0, 4);
+  a.Bgeu(s4, t0, "mld_store_rd");
+  a.Slli(t1, s5, 3);  // bits = size * 8
+  a.Li(t2, 64);
+  a.Sub(t1, t2, t1);
+  a.Sll(s6, s6, t1);
+  a.Sra(s6, s6, t1);
+  a.Bind("mld_store_rd");
+  a.Srli(s2, s2, 7);
+  a.Andi(s2, s2, 31);  // rd
+  a.Beqz(s2, "mld_adv");
+  a.Slli(s2, s2, 3);
+  a.Add(s2, s2, t6);
+  a.Sd(s6, s2, 0);
+  a.Bind("mld_adv");
+  a.Csrr(t0, kCsrMepc);
+  a.Addi(t0, t0, 4);
+  a.Csrw(kCsrMepc, t0);
+  a.J("restore");
+
+  a.Bind("handle_mis_store");
+  a.Csrr(s1, kCsrMepc);
+  a.Li(t0, kMprv);
+  a.Csrs(kCsrMstatus, t0);
+  a.Lwu(s2, s1, 0);
+  a.Csrc(kCsrMstatus, t0);
+  a.Csrr(s3, kCsrMtval);
+  a.Srli(s4, s2, 12);
+  a.Andi(s4, s4, 7);  // funct3: 1=sh, 2=sw, 3=sd
+  a.Li(t1, 1);
+  a.Sll(s5, t1, s4);  // size = 1 << funct3
+  a.Srli(s6, s2, 20);
+  a.Andi(s6, s6, 31);  // rs2 index
+  a.Slli(s6, s6, 3);
+  a.Add(s6, s6, t6);
+  a.Ld(s6, s6, 0);  // rs2 value from the trap frame
+  a.Li(s7, 0);
+  a.Li(t0, kMprv);
+  a.Csrs(kCsrMstatus, t0);
+  a.Bind("mst_loop");
+  a.Bgeu(s7, s5, "mst_done");
+  a.Slli(t3, s7, 3);
+  a.Srl(t2, s6, t3);
+  a.Add(t1, s3, s7);
+  a.Sb(t2, t1, 0);
+  a.Addi(s7, s7, 1);
+  a.J("mst_loop");
+  a.Bind("mst_done");
+  a.Li(t0, kMprv);
+  a.Csrc(kCsrMstatus, t0);
+  a.Csrr(t0, kCsrMepc);
+  a.Addi(t0, t0, 4);
+  a.Csrw(kCsrMepc, t0);
+  a.J("restore");
+
+  // ----------------------------------------------------------------- fatal
+  a.Bind("fatal");
+  a.Li(t1, config.uart_base);
+  a.Li(t2, '!');
+  a.Sb(t2, t1, 0);
+  a.Bind("fatal_loop");
+  a.J("fatal_loop");
+
+  // ------------------------------------------------------------------ data
+  a.Align(8);
+  a.Bind("banner_str");
+  a.Asciz("opensbi-sim 1.0\n");
+  a.Align(8);
+  a.Bind("fw_frames");
+  a.Zero(256 * harts);
+  a.Bind("fw_hsm_flags");
+  a.Zero(8 * harts);
+  a.Bind("fw_hsm_addrs");
+  a.Zero(8 * harts);
+  a.Bind("fw_hsm_opaques");
+  a.Zero(8 * harts);
+  a.Bind("fw_rfence_flags");
+  a.Zero(8 * harts);
+
+  Result<Image> image = a.Finish();
+  VFM_CHECK_MSG(image.ok(), "opensbi_sim assembly failed: %s", image.error().c_str());
+  return std::move(image).value();
+}
+
+}  // namespace vfm

@@ -1,0 +1,133 @@
+#include "src/isa/csr.h"
+
+#include <cstdio>
+#include <map>
+
+namespace vfm {
+
+namespace {
+
+std::vector<CsrInfo> BuildCsrTable() {
+  std::vector<CsrInfo> table = {
+      {kCsrCycle, "cycle"},
+      {kCsrTime, "time"},
+      {kCsrInstret, "instret"},
+      {kCsrSstatus, "sstatus"},
+      {kCsrSie, "sie"},
+      {kCsrStvec, "stvec"},
+      {kCsrScounteren, "scounteren"},
+      {kCsrSenvcfg, "senvcfg"},
+      {kCsrSscratch, "sscratch"},
+      {kCsrSepc, "sepc"},
+      {kCsrScause, "scause"},
+      {kCsrStval, "stval"},
+      {kCsrSip, "sip"},
+      {kCsrStimecmp, "stimecmp"},
+      {kCsrSatp, "satp"},
+      {kCsrHstatus, "hstatus"},
+      {kCsrHedeleg, "hedeleg"},
+      {kCsrHideleg, "hideleg"},
+      {kCsrHie, "hie"},
+      {kCsrHtimedelta, "htimedelta"},
+      {kCsrHcounteren, "hcounteren"},
+      {kCsrHenvcfg, "henvcfg"},
+      {kCsrHtval, "htval"},
+      {kCsrHip, "hip"},
+      {kCsrHvip, "hvip"},
+      {kCsrHtinst, "htinst"},
+      {kCsrHgatp, "hgatp"},
+      {kCsrVsstatus, "vsstatus"},
+      {kCsrVsie, "vsie"},
+      {kCsrVstvec, "vstvec"},
+      {kCsrVsscratch, "vsscratch"},
+      {kCsrVsepc, "vsepc"},
+      {kCsrVscause, "vscause"},
+      {kCsrVstval, "vstval"},
+      {kCsrVsip, "vsip"},
+      {kCsrVsatp, "vsatp"},
+      {kCsrMvendorid, "mvendorid"},
+      {kCsrMarchid, "marchid"},
+      {kCsrMimpid, "mimpid"},
+      {kCsrMhartid, "mhartid"},
+      {kCsrMconfigptr, "mconfigptr"},
+      {kCsrMstatus, "mstatus"},
+      {kCsrMisa, "misa"},
+      {kCsrMedeleg, "medeleg"},
+      {kCsrMideleg, "mideleg"},
+      {kCsrMie, "mie"},
+      {kCsrMtvec, "mtvec"},
+      {kCsrMcounteren, "mcounteren"},
+      {kCsrMenvcfg, "menvcfg"},
+      {kCsrMcountinhibit, "mcountinhibit"},
+      {kCsrMscratch, "mscratch"},
+      {kCsrMepc, "mepc"},
+      {kCsrMcause, "mcause"},
+      {kCsrMtval, "mtval"},
+      {kCsrMip, "mip"},
+      {kCsrMtinst, "mtinst"},
+      {kCsrMtval2, "mtval2"},
+      {kCsrMseccfg, "mseccfg"},
+      {kCsrMcycle, "mcycle"},
+      {kCsrMinstret, "minstret"},
+      {kCsrCustom0, "custom0"},
+      {kCsrCustom1, "custom1"},
+      {kCsrCustom2, "custom2"},
+      {kCsrCustom3, "custom3"},
+  };
+
+  static char name_storage[512][16];
+  int storage_index = 0;
+  auto intern = [&](const char* format, unsigned i) -> const char* {
+    char* slot = name_storage[storage_index++];
+    std::snprintf(slot, 16, format, i);
+    return slot;
+  };
+
+  for (unsigned i = 0; i < 8; ++i) {
+    table.push_back({CsrPmpcfg(i), intern("pmpcfg%u", 2 * i)});
+  }
+  for (unsigned i = 0; i < 64; ++i) {
+    table.push_back({CsrPmpaddr(i), intern("pmpaddr%u", i)});
+  }
+  for (unsigned i = 3; i <= 31; ++i) {
+    table.push_back({CsrMhpmcounter(i), intern("mhpmcounter%u", i)});
+    table.push_back({CsrMhpmevent(i), intern("mhpmevent%u", i)});
+    table.push_back({CsrHpmcounter(i), intern("hpmcounter%u", i)});
+  }
+  return table;
+}
+
+const std::map<uint16_t, const CsrInfo*>& CsrIndex() {
+  static const auto* index = [] {
+    auto* map = new std::map<uint16_t, const CsrInfo*>();
+    for (const CsrInfo& info : AllKnownCsrs()) {
+      (*map)[info.addr] = &info;
+    }
+    return map;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+const std::vector<CsrInfo>& AllKnownCsrs() {
+  static const auto* table = new std::vector<CsrInfo>(BuildCsrTable());
+  return *table;
+}
+
+const CsrInfo* LookupCsr(uint16_t addr) {
+  const auto& index = CsrIndex();
+  auto it = index.find(addr);
+  return it == index.end() ? nullptr : it->second;
+}
+
+std::string CsrName(uint16_t addr) {
+  if (const CsrInfo* info = LookupCsr(addr)) {
+    return info->name;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "csr_0x%03x", addr);
+  return buf;
+}
+
+}  // namespace vfm

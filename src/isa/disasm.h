@@ -1,0 +1,25 @@
+// Textual disassembly, used for logs, traces, and the sandbox policy's violation
+// reports.
+
+#ifndef SRC_ISA_DISASM_H_
+#define SRC_ISA_DISASM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/instr.h"
+
+namespace vfm {
+
+// Returns the ABI name of integer register x`index` ("zero", "ra", "sp", ...).
+const char* RegName(unsigned index);
+
+// Renders a decoded instruction, e.g. "csrrw a0, mstatus, a1".
+std::string Disassemble(const DecodedInstr& instr);
+
+// Decodes and renders a raw instruction word.
+std::string Disassemble(uint32_t word);
+
+}  // namespace vfm
+
+#endif  // SRC_ISA_DISASM_H_

@@ -1,0 +1,65 @@
+// Instruction decoding for RV64IMA + Zicsr + Zifencei + the privileged instructions.
+// The decoder is shared by the hart simulator, the monitor's privileged-instruction
+// emulator, and the reference model; the encoder half lives in src/asm.
+
+#ifndef SRC_ISA_INSTR_H_
+#define SRC_ISA_INSTR_H_
+
+#include <cstdint>
+
+namespace vfm {
+
+enum class Op : uint16_t {
+  kInvalid = 0,
+  // RV64I.
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  kFence, kFenceI,
+  kEcall, kEbreak,
+  // Zicsr.
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // RV64M.
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+  // RV64A.
+  kLrW, kScW, kAmoswapW, kAmoaddW, kAmoxorW, kAmoandW, kAmoorW,
+  kAmominW, kAmomaxW, kAmominuW, kAmomaxuW,
+  kLrD, kScD, kAmoswapD, kAmoaddD, kAmoxorD, kAmoandD, kAmoorD,
+  kAmominD, kAmomaxD, kAmominuD, kAmomaxuD,
+  // Privileged.
+  kSret, kMret, kWfi, kSfenceVma,
+  kHfenceVvma, kHfenceGvma,
+};
+
+const char* OpName(Op op);
+
+// True for instructions whose execution depends on or modifies privileged state: the
+// trap-and-emulate surface of the monitor (paper §4.1 — "MIRALIS has support for 12").
+bool OpIsPrivileged(Op op);
+
+// A decoded instruction. Fields not applicable to a given Op are zero.
+struct DecodedInstr {
+  Op op = Op::kInvalid;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int64_t imm = 0;    // sign-extended immediate (I/S/B/U/J as appropriate)
+  uint16_t csr = 0;   // CSR address for Zicsr ops
+  uint8_t zimm = 0;   // 5-bit immediate for CSR immediate forms
+  uint32_t raw = 0;   // original encoding, for mtval and diagnostics
+
+  bool valid() const { return op != Op::kInvalid; }
+};
+
+// Decodes a 32-bit instruction word. Returns op == kInvalid for undecodable words.
+DecodedInstr Decode(uint32_t word);
+
+}  // namespace vfm
+
+#endif  // SRC_ISA_INSTR_H_

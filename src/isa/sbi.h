@@ -1,0 +1,63 @@
+// RISC-V Supervisor Binary Interface (SBI) definitions, shared between the guest
+// firmware builders, the kernel builder, and the monitor's fast-path offload
+// (paper §3.4: the fast path implements standard SBI operations, which is why it needs
+// no vendor code). Subset of the SBI v2.0 specification.
+
+#ifndef SRC_ISA_SBI_H_
+#define SRC_ISA_SBI_H_
+
+#include <cstdint>
+
+namespace vfm {
+
+// Extension IDs (a7).
+struct SbiExt {
+  static constexpr uint64_t kBase = 0x10;
+  static constexpr uint64_t kTime = 0x54494D45;   // "TIME"
+  static constexpr uint64_t kIpi = 0x735049;      // "sPI"
+  static constexpr uint64_t kRfence = 0x52464E43; // "RFNC"
+  static constexpr uint64_t kHsm = 0x48534D;      // "HSM"
+  static constexpr uint64_t kSrst = 0x53525354;   // "SRST"
+  static constexpr uint64_t kLegacyPutchar = 0x01;
+  static constexpr uint64_t kLegacyGetchar = 0x02;
+};
+
+// Function IDs (a6).
+struct SbiFunc {
+  // Base.
+  static constexpr uint64_t kGetSpecVersion = 0;
+  static constexpr uint64_t kGetImplId = 1;
+  static constexpr uint64_t kGetImplVersion = 2;
+  static constexpr uint64_t kProbeExtension = 3;
+  static constexpr uint64_t kGetMvendorid = 4;
+  static constexpr uint64_t kGetMarchid = 5;
+  static constexpr uint64_t kGetMimpid = 6;
+  // TIME.
+  static constexpr uint64_t kSetTimer = 0;
+  // IPI.
+  static constexpr uint64_t kSendIpi = 0;
+  // RFENCE.
+  static constexpr uint64_t kRemoteFenceI = 0;
+  static constexpr uint64_t kRemoteSfenceVma = 1;
+  // HSM.
+  static constexpr uint64_t kHartStart = 0;
+  static constexpr uint64_t kHartStop = 1;
+  static constexpr uint64_t kHartGetStatus = 2;
+  // SRST.
+  static constexpr uint64_t kSystemReset = 0;
+};
+
+// Error codes (a0 on return).
+struct SbiError {
+  static constexpr int64_t kSuccess = 0;
+  static constexpr int64_t kFailed = -1;
+  static constexpr int64_t kNotSupported = -2;
+  static constexpr int64_t kInvalidParam = -3;
+  static constexpr int64_t kDenied = -4;
+  static constexpr int64_t kInvalidAddress = -5;
+  static constexpr int64_t kAlreadyAvailable = -6;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_ISA_SBI_H_

@@ -1,0 +1,417 @@
+#include "src/kernel/kernel.h"
+
+#include "src/common/check.h"
+#include "src/isa/csr.h"
+#include "src/isa/sbi.h"
+
+namespace vfm {
+
+namespace {
+
+// Sv39 PTE flag bits for the identity map.
+constexpr uint64_t kPteV = 1 << 0;
+constexpr uint64_t kPteR = 1 << 1;
+constexpr uint64_t kPteW = 1 << 2;
+constexpr uint64_t kPteX = 1 << 3;
+constexpr uint64_t kPteA = 1 << 6;
+constexpr uint64_t kPteD = 1 << 7;
+
+}  // namespace
+
+KernelBuilder::KernelBuilder(const KernelConfig& config) : config_(config), asm_(config.base) {
+  EmitPrelude();
+}
+
+uint64_t KernelBuilder::ResultAddr(const Image& image, unsigned slot) {
+  VFM_CHECK(slot < KernelSlots::kCount);
+  return image.Symbol("k_results") + slot * 8;
+}
+
+void KernelBuilder::EmitCommonHartSetup(bool secondary) {
+  Assembler& a = asm_;
+  a.Mv(tp, a0);  // tp holds the hart id throughout kernel execution
+  // Per-hart stack.
+  a.La(sp, "k_stacks");
+  a.Addi(t0, a0, 1);
+  a.Slli(t0, t0, 12);
+  a.Add(sp, sp, t0);
+  // Trap vector and per-hart trap frame.
+  a.La(t0, "k_trap");
+  a.Csrw(kCsrStvec, t0);
+  a.La(t0, "k_frames");
+  a.Slli(t1, a0, 8);
+  a.Add(t0, t0, t1);
+  a.Csrw(kCsrSscratch, t0);
+  if (config_.enable_paging) {
+    a.La(t0, "k_pt_root");
+    a.Srli(t0, t0, 12);
+    a.Li(t1, uint64_t{8} << 60);
+    a.Or(t0, t0, t1);
+    a.SfenceVma();
+    a.Csrw(kCsrSatp, t0);
+    a.SfenceVma();
+  }
+  // Allow user-mode counter reads (scounteren) and enable S interrupts.
+  a.Li(t0, ~uint64_t{0});
+  a.Csrw(kCsrScounteren, t0);
+  a.Li(t0, 0x222);  // SSIE | STIE | SEIE
+  a.Csrs(kCsrSie, t0);
+  a.Csrrsi(zero, kCsrSstatus, 2);  // sstatus.SIE
+  // PLIC: enable sources 1..3 for this hart's S context.
+  a.Li(t0, config_.plic_base + 0x2000);
+  a.Slli(t1, tp, 7);
+  a.Add(t0, t0, t1);
+  a.Li(t1, 0xE);
+  a.Sw(t1, t0, 0);
+  if (secondary) {
+    EmitAtomicIncrement(KernelSlots::kHartsOnline);
+  }
+}
+
+void KernelBuilder::EmitPrelude() {
+  Assembler& a = asm_;
+  a.Bind("_start");
+  EmitCommonHartSetup(/*secondary=*/false);
+  a.J("k_main");
+
+  // Secondary entry (SBI HSM hart_start target).
+  a.Bind("k_secondary");
+  EmitCommonHartSetup(/*secondary=*/true);
+  a.J("secondary_main");
+
+  EmitTrapHandler();
+  a.Bind("k_main");
+}
+
+void KernelBuilder::EmitTrapHandler() {
+  Assembler& a = asm_;
+  a.Align(4);
+  a.Bind("k_trap");
+  a.Csrrw(t6, kCsrSscratch, t6);
+  for (unsigned reg = 1; reg <= 30; ++reg) {
+    a.Sd(static_cast<Reg>(reg), t6, static_cast<int32_t>(8 * reg));
+  }
+  a.Csrrw(t5, kCsrSscratch, t6);
+  a.Sd(t5, t6, 8 * 31);
+
+  a.Csrr(s0, kCsrScause);
+  a.Blt(s0, zero, "kt_interrupt");
+  a.J("k_fatal");  // unexpected synchronous exception in the kernel
+
+  a.Bind("kt_interrupt");
+  a.Slli(s0, s0, 1);
+  a.Srli(s0, s0, 1);
+  a.Li(t0, 5);
+  a.Beq(s0, t0, "kt_timer");
+  a.Li(t0, 1);
+  a.Beq(s0, t0, "kt_soft");
+  a.Li(t0, 9);
+  a.Beq(s0, t0, "kt_ext");
+  a.J("kt_restore");
+
+  // Supervisor timer: count the tick and re-arm (the periodic-tick analog).
+  a.Bind("kt_timer");
+  a.La(t0, "k_results");
+  a.Addi(t0, t0, 8 * KernelSlots::kTimerTicks);
+  a.Li(t1, 1);
+  a.AmoaddD(zero, t1, t0);  // multi-hart safe
+  if (config_.timer_interval != 0) {
+    a.Csrr(a0, kCsrTime);  // traps on the modeled platforms; firmware/monitor emulates
+    a.Li(t0, config_.timer_interval);
+    a.Add(a0, a0, t0);
+  } else {
+    a.Li(a0, ~uint64_t{0});
+  }
+  if (config_.use_sstc) {
+    a.Csrw(kCsrStimecmp, a0);  // hardware supervisor timer: no trap at all
+  } else {
+    a.Li(a7, SbiExt::kTime);
+    a.Li(a6, SbiFunc::kSetTimer);
+    a.Ecall();
+  }
+  a.J("kt_restore");
+
+  // Supervisor software interrupt (IPI): count and clear.
+  a.Bind("kt_soft");
+  a.La(t0, "k_results");
+  a.Addi(t0, t0, 8 * KernelSlots::kIpisTaken);
+  a.Li(t1, 1);
+  a.AmoaddD(zero, t1, t0);  // multi-hart safe
+  a.Csrrci(zero, kCsrSip, 2);
+  a.J("kt_restore");
+
+  // Supervisor external interrupt: claim from the PLIC, acknowledge the disk.
+  a.Bind("kt_ext");
+  a.La(t0, "k_results");
+  a.Addi(t0, t0, 8 * KernelSlots::kExtTaken);
+  a.Li(t1, 1);
+  a.AmoaddD(zero, t1, t0);  // multi-hart safe
+  a.Li(t0, config_.plic_base + 0x200004);
+  a.Slli(t1, tp, 12);
+  a.Add(t0, t0, t1);
+  a.Lw(t2, t0, 0);  // claim
+  a.Beqz(t2, "kt_restore");
+  a.Li(t3, 2);  // block-device source
+  a.Bne(t2, t3, "kt_ext_complete");
+  a.Li(t3, config_.blockdev_base + 0x28);
+  a.Li(t4, 1);
+  a.Sd(t4, t3, 0);  // IRQACK
+  a.Bind("kt_ext_complete");
+  a.Sw(t2, t0, 0);  // complete
+  a.J("kt_restore");
+
+  a.Bind("kt_restore");
+  for (unsigned reg = 1; reg <= 30; ++reg) {
+    a.Ld(static_cast<Reg>(reg), t6, static_cast<int32_t>(8 * reg));
+  }
+  a.Ld(t6, t6, 8 * 31);
+  a.Sret();
+
+  a.Bind("k_fatal");
+  a.Li(t0, config_.finisher_base);
+  a.Li(t1, 0x3333);
+  a.Sw(t1, t0, 0);
+  a.Bind("k_fatal_loop");
+  a.J("k_fatal_loop");
+}
+
+void KernelBuilder::EmitTimeRead() { asm_.Csrr(a0, kCsrTime); }
+
+void KernelBuilder::EmitSetTimerRelative(uint64_t delta_ticks) {
+  Assembler& a = asm_;
+  a.Csrr(a0, kCsrTime);
+  a.Li(t0, delta_ticks);
+  a.Add(a0, a0, t0);
+  if (config_.use_sstc) {
+    a.Csrw(kCsrStimecmp, a0);
+  } else {
+    a.Li(a7, SbiExt::kTime);
+    a.Li(a6, SbiFunc::kSetTimer);
+    a.Ecall();
+  }
+}
+
+void KernelBuilder::EmitWaitSlotAtLeast(unsigned slot, uint64_t target) {
+  // A spin wait: the condition may be advanced by another hart without an interrupt,
+  // so parking in WFI here could sleep forever.
+  Assembler& a = asm_;
+  const std::string label = "k_wait_" + std::to_string(loop_counter_++);
+  a.Bind(label);
+  a.La(t0, "k_results");
+  a.Ld(t1, t0, static_cast<int32_t>(8 * slot));
+  a.Li(t2, target);
+  a.Bltu(t1, t2, label);
+  (void)target;
+}
+
+void KernelBuilder::EmitComputeLoop(uint64_t iters, unsigned work) {
+  Assembler& a = asm_;
+  const std::string label = "k_compute_" + std::to_string(loop_counter_++);
+  a.Li(s2, iters);
+  a.Li(s3, 0x9E3779B9);
+  a.Bind(label);
+  for (unsigned i = 0; i < work; ++i) {
+    // A dependent ALU chain, so the work cannot be optimized away by anything.
+    switch (i % 4) {
+      case 0:
+        a.Addi(s3, s3, 0x55);
+        break;
+      case 1:
+        a.Xori(s3, s3, 0x1F);
+        break;
+      case 2:
+        a.Slli(t0, s3, 1);
+        a.Add(s3, s3, t0);
+        break;
+      default:
+        a.Srli(t0, s3, 3);
+        a.Xor(s3, s3, t0);
+        break;
+    }
+  }
+  a.Addi(s2, s2, -1);
+  a.Bnez(s2, label);
+}
+
+void KernelBuilder::EmitMisalignedLoad() {
+  Assembler& a = asm_;
+  a.La(t0, "k_scratch");
+  a.Lw(t1, t0, 1);  // offset 1: misaligned 4-byte load
+}
+
+void KernelBuilder::EmitSendIpi(uint64_t mask) {
+  Assembler& a = asm_;
+  a.Li(a0, mask);
+  a.Li(a1, 0);
+  a.Li(a7, SbiExt::kIpi);
+  a.Li(a6, SbiFunc::kSendIpi);
+  a.Ecall();
+}
+
+void KernelBuilder::EmitRemoteFence(uint64_t mask) {
+  Assembler& a = asm_;
+  a.Li(a0, mask);
+  a.Li(a1, 0);
+  a.Li(a2, 0);
+  a.Li(a3, 4096);
+  a.Li(a7, SbiExt::kRfence);
+  a.Li(a6, SbiFunc::kRemoteSfenceVma);
+  a.Ecall();
+}
+
+void KernelBuilder::EmitStartSecondaries() {
+  Assembler& a = asm_;
+  for (unsigned hart = 1; hart < config_.hart_count; ++hart) {
+    a.Li(a0, hart);
+    a.La(a1, "k_secondary");
+    a.Li(a2, 0);
+    a.Li(a7, SbiExt::kHsm);
+    a.Li(a6, SbiFunc::kHartStart);
+    a.Ecall();
+  }
+  if (config_.hart_count > 1) {
+    EmitWaitSlotAtLeast(KernelSlots::kHartsOnline, config_.hart_count - 1);
+  }
+}
+
+void KernelBuilder::EmitPrint(const std::string& text) {
+  Assembler& a = asm_;
+  const std::string label = "k_str_" + std::to_string(print_counter_++);
+  a.La(s2, label);
+  a.Bind(label + "_loop");
+  a.Lbu(a0, s2, 0);
+  a.Beqz(a0, label + "_done");
+  a.Li(a7, SbiExt::kLegacyPutchar);
+  a.Li(a6, 0);
+  a.Ecall();
+  a.Addi(s2, s2, 1);
+  a.J(label + "_loop");
+  a.Bind(label + "_done");
+  // Defer the string bytes to the data section.
+  deferred_strings_.emplace_back(label, text);
+}
+
+void KernelBuilder::EmitStoreResult(unsigned slot) {
+  Assembler& a = asm_;
+  a.La(t0, "k_results");
+  a.Sd(a0, t0, static_cast<int32_t>(8 * slot));
+}
+
+void KernelBuilder::EmitLoadResult(unsigned slot) {
+  Assembler& a = asm_;
+  a.La(t0, "k_results");
+  a.Ld(a0, t0, static_cast<int32_t>(8 * slot));
+}
+
+void KernelBuilder::EmitAtomicIncrement(unsigned slot) {
+  Assembler& a = asm_;
+  a.La(t0, "k_results");
+  a.Addi(t0, t0, static_cast<int32_t>(8 * slot));
+  a.Li(t1, 1);
+  a.AmoaddD(zero, t1, t0);
+}
+
+void KernelBuilder::EmitFinish(bool pass) {
+  Assembler& a = asm_;
+  const std::string label = "k_finish_" + std::to_string(loop_counter_++);
+  a.Li(t0, config_.finisher_base);
+  a.Li(t1, pass ? 0x5555 : 0x3333);
+  a.Sw(t1, t0, 0);
+  a.Bind(label);
+  a.J(label);
+}
+
+void KernelBuilder::EmitBlockIo(uint64_t count, uint64_t sectors, bool write,
+                                uint64_t dma_addr) {
+  Assembler& a = asm_;
+  const std::string label = "k_blkio_" + std::to_string(loop_counter_++);
+  a.Li(s2, count);
+  a.Bind(label);
+  // Record the current external-interrupt count, then submit the command.
+  a.La(t0, "k_results");
+  a.Ld(s3, t0, 8 * KernelSlots::kExtTaken);
+  a.Li(t0, config_.blockdev_base);
+  a.Li(t1, 0);
+  a.Sd(t1, t0, 0x08);  // LBA
+  a.Li(t1, sectors);
+  a.Sd(t1, t0, 0x10);  // COUNT
+  a.Li(t1, dma_addr);
+  a.Sd(t1, t0, 0x18);  // DMAADDR
+  a.Li(t1, write ? 2 : 1);
+  a.Sd(t1, t0, 0x00);  // CMD
+  // Wait for the completion interrupt (counted by the trap handler).
+  a.Bind(label + "_wait");
+  a.Wfi();
+  a.La(t0, "k_results");
+  a.Ld(t1, t0, 8 * KernelSlots::kExtTaken);
+  a.Beq(t1, s3, label + "_wait");
+  a.Addi(s2, s2, -1);
+  a.Bnez(s2, label);
+}
+
+void KernelBuilder::DefineSecondaryMain() {
+  VFM_CHECK_MSG(!secondary_defined_, "secondary_main defined twice");
+  secondary_defined_ = true;
+  asm_.Bind("secondary_main");
+}
+
+void KernelBuilder::EmitSecondaryPark() {
+  Assembler& a = asm_;
+  const std::string label = "k_park_" + std::to_string(loop_counter_++);
+  a.Bind(label);
+  a.Wfi();
+  a.J(label);
+}
+
+void KernelBuilder::EmitPageTable() {
+  Assembler& a = asm_;
+  a.Align(4096);
+  a.Bind("k_pt_root");
+  for (unsigned i = 0; i < 512; ++i) {
+    uint64_t pte = 0;
+    if (i == 0) {
+      // Devices: 0x0000'0000 .. 0x3FFF'FFFF, read/write, no execute.
+      pte = kPteV | kPteR | kPteW | kPteA | kPteD;
+    } else if (i == 2) {
+      // RAM: 0x8000'0000 .. 0xBFFF'FFFF, read/write/execute.
+      const uint64_t ppn = uint64_t{0x8000'0000} >> 12;
+      pte = (ppn << 10) | kPteV | kPteR | kPteW | kPteX | kPteA | kPteD;
+    }
+    a.Word64(pte);
+  }
+}
+
+Image KernelBuilder::Finish() {
+  Assembler& a = asm_;
+  if (!secondary_defined_) {
+    DefineSecondaryMain();
+    EmitSecondaryPark();
+  }
+  // Data sections.
+  for (const auto& [label, text] : deferred_strings_) {
+    a.Align(8);
+    a.Bind(label);
+    a.Asciz(text);
+  }
+  a.Align(8);
+  a.Bind("k_results");
+  a.Zero(8 * KernelSlots::kCount);
+  a.Bind("k_scratch");
+  a.Zero(64);
+  a.Bind("k_frames");
+  a.Zero(256 * config_.hart_count);
+  a.Bind("k_stacks");
+  a.Zero(4096 * config_.hart_count);
+  if (config_.enable_paging) {
+    EmitPageTable();
+  }
+
+  // The fixed-offset result area: assert the code stayed below it, then place it.
+  Result<Image> image = a.Finish();
+  VFM_CHECK_MSG(image.ok(), "kernel assembly failed: %s", image.error().c_str());
+  Image out = std::move(image).value();
+  VFM_CHECK_MSG(out.symbols.count("k_results") != 0, "k_results missing");
+  return out;
+}
+
+}  // namespace vfm

@@ -1,0 +1,115 @@
+// minios: the S-mode kernel image builder, the Linux stand-in of the evaluation. It
+// produces real guest kernels that boot over the SBI interface, optionally enable
+// Sv39 paging, take timer/IPI/external interrupts, and run scripted workloads whose
+// trap profiles reproduce the paper's measurements (Figures 3, 10-13; Tables 4, 5).
+//
+// Usage: construct a KernelBuilder, emit the main body with the Emit* helpers (they
+// append to the image's `main` routine executed by hart 0), then Finish(). Secondary
+// harts (started via SBI HSM) execute the `secondary_main` body, which by default
+// parks; multi-core workloads override it with DefineSecondaryMain().
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/asm/assembler.h"
+
+namespace vfm {
+
+struct KernelConfig {
+  uint64_t base = 0x8040'0000;
+  unsigned hart_count = 1;       // harts the kernel brings online via HSM
+  uint64_t finisher_base = 0x10'0000;
+  uint64_t plic_base = 0xC00'0000;
+  uint64_t blockdev_base = 0x1001'0000;
+  bool enable_paging = false;    // Sv39 identity map (1 GiB superpages)
+  // When nonzero, the kernel trap handler re-arms the timer this many timebase ticks
+  // in the future on every S-timer interrupt (the Linux tick analog).
+  uint64_t timer_interval = 0;
+  // On Sstc platforms the kernel programs stimecmp directly and reads the hardware
+  // time CSR — no SBI timer calls, no traps (the RVA23 path of §3.4).
+  bool use_sstc = false;
+};
+
+// Result-area slots the kernel runtime maintains; read them from the host with
+// KernelBuilder::ResultAddr.
+struct KernelSlots {
+  static constexpr unsigned kTimerTicks = 0;    // S-timer interrupts taken
+  static constexpr unsigned kIpisTaken = 1;     // S-software interrupts taken
+  static constexpr unsigned kExtTaken = 2;      // S-external interrupts taken
+  static constexpr unsigned kHartsOnline = 3;   // secondaries that reached S-mode
+  static constexpr unsigned kJoinCounter = 4;   // parallel-workload join barrier
+  static constexpr unsigned kScratch = 8;       // first free slot for workloads
+  static constexpr unsigned kCount = 64;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(const KernelConfig& config);
+
+  Assembler& assembler() { return asm_; }
+  const KernelConfig& config() const { return config_; }
+
+  // Physical address of a result slot in a finished image, for host-side readout
+  // through the bus.
+  static uint64_t ResultAddr(const Image& image, unsigned slot);
+
+  // -- Main-body helpers (append code executed by hart 0 after boot). ---------------
+  // Reads the time CSR into a0 (traps and is emulated on the modeled platforms).
+  void EmitTimeRead();
+  // sbi set_timer(now + delta_ticks).
+  void EmitSetTimerRelative(uint64_t delta_ticks);
+  // Parks in wfi with SIE enabled until the given result slot reaches `target`.
+  void EmitWaitSlotAtLeast(unsigned slot, uint64_t target);
+  // A compute loop: `iters` iterations of `work` dependent ALU operations.
+  void EmitComputeLoop(uint64_t iters, unsigned work);
+  // One misaligned 4-byte load from the scratch buffer (trap-and-emulate path).
+  void EmitMisalignedLoad();
+  // sbi send_ipi to the harts in `mask` (base 0).
+  void EmitSendIpi(uint64_t mask);
+  // sbi remote sfence.vma to the harts in `mask` (base 0).
+  void EmitRemoteFence(uint64_t mask);
+  // Starts secondary harts 1..hart_count-1 via SBI HSM; they enter secondary_main.
+  void EmitStartSecondaries();
+  // Prints a string through sbi putchar.
+  void EmitPrint(const std::string& text);
+  // Stores register a0 into a result slot / loads a slot into a0.
+  void EmitStoreResult(unsigned slot);
+  void EmitLoadResult(unsigned slot);
+  // Adds 1 to a result slot with an AMO (multi-hart safe).
+  void EmitAtomicIncrement(unsigned slot);
+  // Writes the test finisher: pass (code 0) or fail.
+  void EmitFinish(bool pass);
+  // Submits a block-device command and waits for its completion interrupt.
+  // `sectors` per command, repeated `count` times, alternating LBAs.
+  void EmitBlockIo(uint64_t count, uint64_t sectors, bool write, uint64_t dma_addr);
+
+  // Defines the body secondaries execute (called at most once, between helpers).
+  // Within the body, use the same Emit* helpers. End it with EmitSecondaryPark().
+  void DefineSecondaryMain();
+  void EmitSecondaryPark();
+
+  // Finalizes: emits the runtime epilogue and data sections, resolves labels.
+  Image Finish();
+
+ private:
+  void EmitPrelude();
+  void EmitTrapHandler();
+  void EmitPageTable();
+  void EmitCommonHartSetup(bool secondary);
+
+  KernelConfig config_;
+  Assembler asm_;
+  bool secondary_defined_ = false;
+  unsigned print_counter_ = 0;
+  unsigned loop_counter_ = 0;
+  std::vector<std::pair<std::string, std::string>> deferred_strings_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,96 @@
+#include "src/mem/bus.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace vfm {
+
+Ram::Ram(uint64_t base, uint64_t size) : base_(base), size_(size), bytes_(size, 0) {}
+
+Ram* Bus::AddRam(uint64_t base, uint64_t size) {
+  VFM_CHECK_MSG(size > 0, "RAM region must be non-empty");
+  for (const auto& existing : ram_) {
+    const bool overlaps = base < existing->base() + existing->size() && existing->base() < base + size;
+    VFM_CHECK_MSG(!overlaps, "RAM regions overlap");
+  }
+  ram_.push_back(std::make_unique<Ram>(base, size));
+  return ram_.back().get();
+}
+
+void Bus::AddMmio(uint64_t base, uint64_t size, MmioDevice* device) {
+  VFM_CHECK(device != nullptr);
+  mmio_.push_back(MmioWindow{base, size, device});
+}
+
+const Ram* Bus::FindRam(uint64_t addr, uint64_t size) const {
+  for (const auto& region : ram_) {
+    if (addr >= region->base() && addr + size <= region->base() + region->size()) {
+      return region.get();
+    }
+  }
+  return nullptr;
+}
+
+const Bus::MmioWindow* Bus::FindMmio(uint64_t addr) const {
+  for (const auto& window : mmio_) {
+    if (addr >= window.base && addr < window.base + window.size) {
+      return &window;
+    }
+  }
+  return nullptr;
+}
+
+bool Bus::Read(uint64_t addr, unsigned size, uint64_t* value) {
+  if (const Ram* region = FindRam(addr, size)) {
+    uint64_t v = 0;
+    std::memcpy(&v, region->data() + (addr - region->base()), size);
+    *value = v;
+    return true;
+  }
+  if (const MmioWindow* window = FindMmio(addr)) {
+    if (addr + size > window->base + window->size) {
+      return false;
+    }
+    return window->device->MmioRead(addr - window->base, size, value);
+  }
+  return false;
+}
+
+bool Bus::Write(uint64_t addr, unsigned size, uint64_t value) {
+  if (const Ram* region = FindRam(addr, size)) {
+    Ram* mutable_region = const_cast<Ram*>(region);
+    std::memcpy(mutable_region->data() + (addr - region->base()), &value, size);
+    return true;
+  }
+  if (const MmioWindow* window = FindMmio(addr)) {
+    if (addr + size > window->base + window->size) {
+      return false;
+    }
+    return window->device->MmioWrite(addr - window->base, size, value);
+  }
+  return false;
+}
+
+bool Bus::ReadBytes(uint64_t addr, void* out, uint64_t size) const {
+  const Ram* region = FindRam(addr, size);
+  if (region == nullptr) {
+    return false;
+  }
+  std::memcpy(out, region->data() + (addr - region->base()), size);
+  return true;
+}
+
+bool Bus::WriteBytes(uint64_t addr, const void* data, uint64_t size) {
+  const Ram* region = FindRam(addr, size);
+  if (region == nullptr) {
+    return false;
+  }
+  Ram* mutable_region = const_cast<Ram*>(region);
+  std::memcpy(mutable_region->data() + (addr - region->base()), data, size);
+  return true;
+}
+
+bool Bus::IsRam(uint64_t addr, uint64_t size) const { return FindRam(addr, size) != nullptr; }
+
+}  // namespace vfm

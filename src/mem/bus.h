@@ -1,0 +1,106 @@
+// Physical memory bus: RAM regions plus MMIO device windows. The bus performs no
+// protection checks — PMP and paging live in the hart (src/sim) and the monitor; the
+// bus only routes physical accesses.
+
+#ifndef SRC_MEM_BUS_H_
+#define SRC_MEM_BUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vfm {
+
+enum class AccessType : uint8_t {
+  kFetch = 0,
+  kLoad = 1,
+  kStore = 2,
+};
+
+inline const char* AccessTypeName(AccessType type) {
+  switch (type) {
+    case AccessType::kFetch:
+      return "fetch";
+    case AccessType::kLoad:
+      return "load";
+    case AccessType::kStore:
+      return "store";
+  }
+  return "?";
+}
+
+// Interface implemented by memory-mapped devices. Offsets are relative to the device's
+// base address. `size` is 1, 2, 4, or 8. Returns false on an access the device
+// rejects, which the hart reports as an access fault.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  virtual const char* name() const = 0;
+  virtual bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) = 0;
+  virtual bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) = 0;
+};
+
+// A contiguous RAM region.
+class Ram {
+ public:
+  Ram(uint64_t base, uint64_t size);
+
+  uint64_t base() const { return base_; }
+  uint64_t size() const { return size_; }
+  bool Contains(uint64_t addr, unsigned access_size) const {
+    return addr >= base_ && addr + access_size <= base_ + size_;
+  }
+
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+ private:
+  uint64_t base_;
+  uint64_t size_;
+  std::vector<uint8_t> bytes_;
+};
+
+// The physical bus: an ordered set of RAM regions and MMIO windows.
+class Bus {
+ public:
+  // Adds a RAM region. Regions must not overlap.
+  Ram* AddRam(uint64_t base, uint64_t size);
+
+  // Maps `device` at [base, base+size). The bus does not own the device.
+  void AddMmio(uint64_t base, uint64_t size, MmioDevice* device);
+
+  // Physical read/write. Returns false for unmapped addresses or device-rejected
+  // accesses. Values are little-endian, zero-extended into *value.
+  bool Read(uint64_t addr, unsigned size, uint64_t* value);
+  bool Write(uint64_t addr, unsigned size, uint64_t value);
+
+  // Bulk access to RAM (image loading, hashing, DMA). Fails if the range is not
+  // entirely inside one RAM region.
+  bool ReadBytes(uint64_t addr, void* out, uint64_t size) const;
+  bool WriteBytes(uint64_t addr, const void* data, uint64_t size);
+
+  // True if [addr, addr+size) lies fully inside a single RAM region.
+  bool IsRam(uint64_t addr, uint64_t size) const;
+
+  // Returns the MMIO window covering addr, or nullptr. Used by the monitor to identify
+  // which virtual device an intercepted access targets.
+  struct MmioWindow {
+    uint64_t base;
+    uint64_t size;
+    MmioDevice* device;
+  };
+  const MmioWindow* FindMmio(uint64_t addr) const;
+
+  const std::vector<MmioWindow>& mmio_windows() const { return mmio_; }
+
+ private:
+  const Ram* FindRam(uint64_t addr, uint64_t size) const;
+
+  std::vector<std::unique_ptr<Ram>> ram_;
+  std::vector<MmioWindow> mmio_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_MEM_BUS_H_

@@ -1,0 +1,87 @@
+// Platform profiles modeling the paper's evaluation boards (Table 3) and the boot
+// flow of Figure 9 (loader -> monitor -> vM firmware -> OS). Cycle-cost parameters
+// are calibrated so the monitor's operation costs land in the regime Table 4 reports
+// for each board (see EXPERIMENTS.md for the calibration notes).
+
+#ifndef SRC_PLATFORM_PLATFORM_H_
+#define SRC_PLATFORM_PLATFORM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/monitor.h"
+#include "src/core/policy.h"
+#include "src/firmware/firmware.h"
+#include "src/sim/machine.h"
+
+namespace vfm {
+
+enum class PlatformKind {
+  kVf2Sim,   // VisionFive 2 analog: 4 in-order cores @ 1.5 GHz, cheap traps
+  kP550Sim,  // HiFive Premier P550 analog: 4 OoO cores @ 1.8 GHz, custom CSRs,
+             // cheaper emulation but costlier world switches
+  kQemuSim,  // QEMU analog with the H extension, for the ACE CVM demo (§8.4)
+  kRva23Sim, // forward-looking profile (§3.4): hardware time CSR + Sstc, so the five
+             // dominant trap causes largely vanish and offloading becomes unnecessary
+};
+
+struct PlatformProfile {
+  std::string name;
+  MachineConfig machine;
+  // Memory layout (all power-of-two sized, alignment-suitable for NAPOT PMP).
+  uint64_t monitor_base = 0x8000'0000;
+  uint64_t monitor_size = 1 << 20;
+  uint64_t firmware_base = 0x8010'0000;
+  uint64_t firmware_size = 1 << 20;
+  uint64_t kernel_base = 0x8040'0000;
+  uint64_t os_image_size = 1 << 20;   // measured range for the sandbox policy
+  uint64_t dma_buffer = 0x8200'0000;  // block-device DMA target
+  uint64_t enclave_base = 0x8400'0000;  // keystone/ace protected region
+  uint64_t enclave_size = 1 << 20;
+};
+
+PlatformProfile MakePlatform(PlatformKind kind, unsigned hart_count, bool with_blockdev);
+
+// How the machine-mode layer is deployed (the evaluation's three configurations).
+enum class DeployMode {
+  kNative,            // firmware runs in real M-mode (the baseline)
+  kMiralis,           // firmware virtualized, fast path enabled
+  kMiralisNoOffload,  // firmware virtualized, fast path disabled
+};
+
+const char* DeployModeName(DeployMode mode);
+
+enum class FirmwareKind {
+  kOpenSbiSim,
+  kMiniSbi,
+  kMicro,
+};
+
+// A booted system: the machine plus (when virtualized) the monitor that owns M-mode.
+struct System {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<Monitor> monitor;  // null in native mode
+  Image firmware;
+  Image kernel;
+
+  // Convenience accessors for kernel result slots.
+  uint64_t ReadResult(unsigned slot) const;
+};
+
+// Assembles the full boot flow: builds the firmware for `profile`, loads firmware and
+// kernel images, and arranges M-mode ownership per `mode`. The caller-provided policy
+// (may be null) is attached before Boot. `micro_probe` configures FirmwareKind::kMicro.
+System BootSystem(const PlatformProfile& profile, DeployMode mode, Image kernel,
+                  FirmwareKind fw_kind = FirmwareKind::kOpenSbiSim,
+                  PolicyModule* policy = nullptr, unsigned micro_probe = 0);
+
+// Builds the default sandbox-policy configuration for a profile.
+struct SandboxConfigForProfile {
+  uint64_t firmware_base, firmware_size, os_image_base, os_image_size, uart_base, uart_size;
+};
+SandboxConfigForProfile DefaultSandboxRegions(const PlatformProfile& profile);
+
+}  // namespace vfm
+
+#endif  // SRC_PLATFORM_PLATFORM_H_

@@ -1,0 +1,219 @@
+#include "src/pmp/pmp.h"
+
+#include <cstdio>
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+
+namespace vfm {
+
+PmpCfg PmpCfg::FromByte(uint8_t byte) {
+  PmpCfg cfg;
+  cfg.r = (byte & 0x01) != 0;
+  cfg.w = (byte & 0x02) != 0;
+  cfg.x = (byte & 0x04) != 0;
+  cfg.a = static_cast<PmpAddrMode>((byte >> 3) & 0x3);
+  cfg.locked = (byte & 0x80) != 0;
+  return cfg;
+}
+
+uint8_t PmpCfg::ToByte() const {
+  uint8_t byte = 0;
+  byte |= r ? 0x01 : 0;
+  byte |= w ? 0x02 : 0;
+  byte |= x ? 0x04 : 0;
+  byte |= static_cast<uint8_t>(static_cast<uint8_t>(a) << 3);
+  byte |= locked ? 0x80 : 0;
+  return byte;
+}
+
+uint8_t LegalizePmpCfgByte(uint8_t old_byte, uint8_t new_byte) {
+  new_byte &= 0x9F;  // bits 5 and 6 are reserved, read as zero
+  const bool r = (new_byte & 0x01) != 0;
+  const bool w = (new_byte & 0x02) != 0;
+  if (w && !r) {
+    return old_byte;  // reserved combination: the write is ignored
+  }
+  return new_byte;
+}
+
+std::optional<PmpRange> DecodePmpRange(PmpCfg cfg, uint64_t addr, uint64_t prev_addr) {
+  switch (cfg.a) {
+    case PmpAddrMode::kOff:
+      return std::nullopt;
+    case PmpAddrMode::kTor: {
+      const uint64_t base = prev_addr << 2;
+      const uint64_t limit = addr << 2;
+      if (base >= limit) {
+        return std::nullopt;
+      }
+      return PmpRange{base, limit};
+    }
+    case PmpAddrMode::kNa4:
+      return PmpRange{addr << 2, (addr << 2) + 4};
+    case PmpAddrMode::kNapot: {
+      const unsigned ones = CountTrailingOnes(addr);
+      // addr = yyy...y0111...1 encodes a 2^(ones+3)-byte region.
+      const uint64_t size = uint64_t{8} << ones;
+      const uint64_t base = (addr & ~MaskLow(ones + 1)) << 2;
+      return PmpRange{base, base + size};
+    }
+  }
+  return std::nullopt;
+}
+
+PmpBank::PmpBank(unsigned entry_count) : entry_count_(entry_count) {
+  VFM_CHECK_MSG(entry_count <= kMaxEntries, "too many PMP entries");
+}
+
+uint64_t PmpBank::ReadCfgReg(unsigned reg_index) const {
+  VFM_DCHECK(reg_index % 2 == 0);
+  const unsigned first = reg_index * 4;  // pmpcfg2i holds entries [8i, 8i+8)
+  uint64_t value = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    const unsigned entry = first + i;
+    if (entry < entry_count_) {
+      value |= static_cast<uint64_t>(cfg_[entry]) << (8 * i);
+    }
+  }
+  return value;
+}
+
+void PmpBank::WriteCfgReg(unsigned reg_index, uint64_t value) {
+  VFM_DCHECK(reg_index % 2 == 0);
+  const unsigned first = reg_index * 4;
+  for (unsigned i = 0; i < 8; ++i) {
+    const unsigned entry = first + i;
+    if (entry >= entry_count_) {
+      continue;
+    }
+    const uint8_t old_byte = cfg_[entry];
+    if ((old_byte & 0x80) != 0) {
+      continue;  // locked entries ignore cfg writes
+    }
+    cfg_[entry] = LegalizePmpCfgByte(old_byte, static_cast<uint8_t>(value >> (8 * i)));
+  }
+  cache_valid_ = false;
+}
+
+uint64_t PmpBank::ReadAddrReg(unsigned index) const {
+  if (index >= entry_count_) {
+    return 0;
+  }
+  return addr_[index];
+}
+
+void PmpBank::WriteAddrReg(unsigned index, uint64_t value) {
+  if (index >= entry_count_) {
+    return;
+  }
+  const PmpCfg cfg = GetCfg(index);
+  if (cfg.locked) {
+    return;
+  }
+  // Writes to pmpaddr[i] are also ignored when entry i+1 is locked in TOR mode, since
+  // pmpaddr[i] then defines the base of a locked region.
+  if (index + 1 < entry_count_) {
+    const PmpCfg next = GetCfg(index + 1);
+    if (next.locked && next.a == PmpAddrMode::kTor) {
+      return;
+    }
+  }
+  addr_[index] = value & kAddrMask;
+  cache_valid_ = false;
+}
+
+PmpCfg PmpBank::GetCfg(unsigned index) const {
+  VFM_DCHECK(index < entry_count_);
+  return PmpCfg::FromByte(cfg_[index]);
+}
+
+void PmpBank::SetCfg(unsigned index, PmpCfg cfg) {
+  VFM_DCHECK(index < entry_count_);
+  cfg_[index] = cfg.ToByte();
+  cache_valid_ = false;
+}
+
+void PmpBank::RebuildCache() const {
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    const PmpCfg cfg = PmpCfg::FromByte(cfg_[i]);
+    const uint64_t prev = i == 0 ? 0 : addr_[i - 1];
+    const std::optional<PmpRange> range = DecodePmpRange(cfg, addr_[i], prev);
+    cache_[i].active = range.has_value();
+    cache_[i].cfg = cfg;
+    if (range.has_value()) {
+      cache_[i].range = *range;
+    }
+  }
+  cache_valid_ = true;
+}
+
+bool PmpBank::Check(uint64_t addr, uint64_t size, AccessType type, PrivMode mode) const {
+  if (entry_count_ == 0) {
+    return true;  // no PMP implemented: all accesses are permitted (spec 3.7.1)
+  }
+  if (!cache_valid_) {
+    RebuildCache();
+  }
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    const CachedEntry& entry = cache_[i];
+    if (!entry.active || !entry.range.Overlaps(addr, size)) {
+      continue;
+    }
+    if (!entry.range.Contains(addr, size)) {
+      return false;  // partial match always denies
+    }
+    if (mode == PrivMode::kMachine && !entry.cfg.locked) {
+      return true;  // unlocked entries do not constrain M-mode
+    }
+    return entry.cfg.Permits(type);
+  }
+  // No matching entry: M-mode is allowed, lower privileges are denied.
+  return mode == PrivMode::kMachine;
+}
+
+std::optional<unsigned> PmpBank::FirstMatch(uint64_t addr) const {
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    const PmpCfg cfg = GetCfg(i);
+    const uint64_t prev = i == 0 ? 0 : addr_[i - 1];
+    const std::optional<PmpRange> range = DecodePmpRange(cfg, addr_[i], prev);
+    if (range.has_value() && range->Contains(addr, 1)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string PmpBank::Describe() const {
+  std::string out;
+  char line[128];
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    const PmpCfg cfg = GetCfg(i);
+    const uint64_t prev = i == 0 ? 0 : addr_[i - 1];
+    const std::optional<PmpRange> range = DecodePmpRange(cfg, addr_[i], prev);
+    const char* mode = "OFF";
+    switch (cfg.a) {
+      case PmpAddrMode::kOff:
+        mode = "OFF";
+        break;
+      case PmpAddrMode::kTor:
+        mode = "TOR";
+        break;
+      case PmpAddrMode::kNa4:
+        mode = "NA4";
+        break;
+      case PmpAddrMode::kNapot:
+        mode = "NAPOT";
+        break;
+    }
+    std::snprintf(line, sizeof(line), "pmp%-2u %-5s %c%c%c%c [%016llx, %016llx)\n", i, mode,
+                  cfg.locked ? 'L' : '-', cfg.r ? 'R' : '-', cfg.w ? 'W' : '-',
+                  cfg.x ? 'X' : '-',
+                  static_cast<unsigned long long>(range ? range->base : 0),
+                  static_cast<unsigned long long>(range ? range->limit : 0));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vfm

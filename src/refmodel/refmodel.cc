@@ -1,0 +1,668 @@
+#include "src/refmodel/refmodel.h"
+
+#include "src/common/bits.h"
+#include "src/pmp/pmp.h"
+
+namespace vfm {
+
+namespace {
+
+// "The combination R=0, W=1 is reserved" — the model keeps the old entry, matching the
+// Sail model's legalization.
+uint64_t LegalizeCfgByte(uint64_t old_byte, uint64_t new_byte) {
+  new_byte &= 0x9F;
+  if ((new_byte & 0x2) != 0 && (new_byte & 0x1) == 0) {
+    return old_byte;
+  }
+  return new_byte;
+}
+
+constexpr uint64_t kSieBits = kSupervisorInterrupts;
+constexpr uint64_t kMieBits = kSupervisorInterrupts | kMachineInterrupts;
+constexpr uint64_t kMipWritable = kSupervisorInterrupts;
+constexpr uint64_t kSipWritableThroughSip = InterruptMask(InterruptCause::kSupervisorSoftware);
+constexpr uint64_t kMedelegMask = 0xFFFF & ~(uint64_t{1} << 11) & ~(uint64_t{1} << 14);
+constexpr uint64_t kStceBit = uint64_t{1} << 63;
+
+bool SstcActive(const RefConfig& config, const RefState& state) {
+  return config.has_sstc && (state.menvcfg & kStceBit) != 0;
+}
+
+uint64_t RefMisa() {
+  return kMisaMxl64 | MisaBit('I') | MisaBit('M') | MisaBit('A') | MisaBit('S') | MisaBit('U');
+}
+
+uint64_t LegalizeStatus(uint64_t old_value, uint64_t new_value) {
+  // Spec 3.1.6: writable fields of mstatus on an RV64 S+U machine without F/V/H.
+  const uint64_t writable =
+      (uint64_t{1} << MstatusBits::kSie) | (uint64_t{1} << MstatusBits::kMie) |
+      (uint64_t{1} << MstatusBits::kSpie) | (uint64_t{1} << MstatusBits::kMpie) |
+      (uint64_t{1} << MstatusBits::kSpp) | MaskRange(MstatusBits::kMppHi, MstatusBits::kMppLo) |
+      MaskRange(MstatusBits::kFsHi, MstatusBits::kFsLo) |
+      MaskRange(MstatusBits::kVsHi, MstatusBits::kVsLo) | (uint64_t{1} << MstatusBits::kMprv) |
+      (uint64_t{1} << MstatusBits::kSum) | (uint64_t{1} << MstatusBits::kMxr) |
+      (uint64_t{1} << MstatusBits::kTvm) | (uint64_t{1} << MstatusBits::kTw) |
+      (uint64_t{1} << MstatusBits::kTsr);
+  uint64_t value = (old_value & ~writable) | (new_value & writable);
+  if (ExtractBits(value, MstatusBits::kMppHi, MstatusBits::kMppLo) == 2) {
+    value = InsertBits(value, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       ExtractBits(old_value, MstatusBits::kMppHi, MstatusBits::kMppLo));
+  }
+  const bool dirty = ExtractBits(value, MstatusBits::kFsHi, MstatusBits::kFsLo) == 3 ||
+                     ExtractBits(value, MstatusBits::kVsHi, MstatusBits::kVsLo) == 3 ||
+                     ExtractBits(value, MstatusBits::kXsHi, MstatusBits::kXsLo) == 3;
+  value = SetBit(value, MstatusBits::kSd, dirty ? 1 : 0);
+  return value;
+}
+
+uint64_t LegalizeTvecRef(uint64_t old_value, uint64_t new_value) {
+  if ((new_value & 3) >= 2) {
+    return (new_value & ~uint64_t{3}) | (old_value & 3);
+  }
+  return new_value;
+}
+
+bool IsCounterAddr(uint16_t addr) {
+  return addr == kCsrCycle || addr == kCsrTime || addr == kCsrInstret ||
+         (addr >= kCsrHpmcounter3 && addr <= 0xC1F);
+}
+
+}  // namespace
+
+bool RefCsrExists(const RefConfig& config, uint16_t addr) {
+  switch (addr) {
+    case kCsrMvendorid:
+    case kCsrMarchid:
+    case kCsrMimpid:
+    case kCsrMhartid:
+    case kCsrMconfigptr:
+    case kCsrMstatus:
+    case kCsrMisa:
+    case kCsrMedeleg:
+    case kCsrMideleg:
+    case kCsrMie:
+    case kCsrMtvec:
+    case kCsrMcounteren:
+    case kCsrMenvcfg:
+    case kCsrMcountinhibit:
+    case kCsrMscratch:
+    case kCsrMepc:
+    case kCsrMcause:
+    case kCsrMtval:
+    case kCsrMip:
+    case kCsrMseccfg:
+    case kCsrMcycle:
+    case kCsrMinstret:
+    case kCsrCycle:
+    case kCsrInstret:
+    case kCsrSstatus:
+    case kCsrSie:
+    case kCsrStvec:
+    case kCsrScounteren:
+    case kCsrSenvcfg:
+    case kCsrSscratch:
+    case kCsrSepc:
+    case kCsrScause:
+    case kCsrStval:
+    case kCsrSip:
+    case kCsrSatp:
+      return true;
+    case kCsrTime:
+      return config.has_time_csr;
+    case kCsrStimecmp:
+      return config.has_sstc;
+    case kCsrCustom0:
+    case kCsrCustom1:
+    case kCsrCustom2:
+    case kCsrCustom3:
+      return config.has_custom_csrs;
+    default:
+      break;
+  }
+  if (addr >= kCsrPmpcfg0 && addr < kCsrPmpcfg0 + 16) {
+    return (addr % 2) == 0;
+  }
+  if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + 64) {
+    return true;
+  }
+  if ((addr >= kCsrMhpmcounter3 && addr <= 0xB1F) || (addr >= kCsrMhpmevent3 && addr <= 0x33F) ||
+      (addr >= kCsrHpmcounter3 && addr <= 0xC1F)) {
+    return true;  // hardwired-zero performance counters
+  }
+  return false;
+}
+
+uint64_t RefCsrGet(const RefConfig& config, const RefState& state, uint16_t addr) {
+  switch (addr) {
+    case kCsrMvendorid:
+    case kCsrMarchid:
+    case kCsrMimpid:
+    case kCsrMhartid:
+    case kCsrMconfigptr:
+      return 0;
+    case kCsrMstatus:
+      return state.mstatus;
+    case kCsrMisa:
+      return RefMisa();
+    case kCsrMedeleg:
+      return state.medeleg;
+    case kCsrMideleg:
+      return state.mideleg;
+    case kCsrMie:
+      return state.mie;
+    case kCsrMtvec:
+      return state.mtvec;
+    case kCsrMcounteren:
+      return state.mcounteren;
+    case kCsrMenvcfg:
+      return state.menvcfg;
+    case kCsrMcountinhibit:
+      return state.mcountinhibit;
+    case kCsrMscratch:
+      return state.mscratch;
+    case kCsrMepc:
+      return state.mepc;
+    case kCsrMcause:
+      return state.mcause;
+    case kCsrMtval:
+      return state.mtval;
+    case kCsrMip: {
+      uint64_t mip = state.mip;
+      if (SstcActive(config, state)) {
+        if (state.time >= state.stimecmp) {
+          mip |= InterruptMask(InterruptCause::kSupervisorTimer);
+        } else {
+          mip &= ~InterruptMask(InterruptCause::kSupervisorTimer);
+        }
+      }
+      return mip;
+    }
+    case kCsrMseccfg:
+      return state.mseccfg;
+    case kCsrMcycle:
+    case kCsrCycle:
+      return state.mcycle;
+    case kCsrMinstret:
+    case kCsrInstret:
+      return state.minstret;
+    case kCsrTime:
+      return state.time;
+    case kCsrSstatus:
+      return state.mstatus & kSstatusMask;
+    case kCsrSie:
+      return state.mie & state.mideleg & kSieBits;
+    case kCsrSip:
+      return RefCsrGet(config, state, kCsrMip) & state.mideleg & kSieBits;
+    case kCsrStvec:
+      return state.stvec;
+    case kCsrScounteren:
+      return state.scounteren;
+    case kCsrSenvcfg:
+      return state.senvcfg;
+    case kCsrSscratch:
+      return state.sscratch;
+    case kCsrSepc:
+      return state.sepc;
+    case kCsrScause:
+      return state.scause;
+    case kCsrStval:
+      return state.stval;
+    case kCsrSatp:
+      return state.satp;
+    case kCsrStimecmp:
+      return state.stimecmp;
+    case kCsrCustom0:
+    case kCsrCustom1:
+    case kCsrCustom2:
+    case kCsrCustom3:
+      return state.custom[addr - kCsrCustom0];
+    default:
+      break;
+  }
+  if (addr >= kCsrPmpcfg0 && addr < kCsrPmpcfg0 + 16) {
+    const unsigned first = (addr - kCsrPmpcfg0) * 4;
+    uint64_t value = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if (first + i < config.pmp_entries) {
+        value |= state.pmpcfg[first + i] << (8 * i);
+      }
+    }
+    return value;
+  }
+  if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + 64) {
+    const unsigned index = addr - kCsrPmpaddr0;
+    return index < config.pmp_entries ? state.pmpaddr[index] : 0;
+  }
+  return 0;  // hardwired-zero counters
+}
+
+void RefCsrSet(const RefConfig& config, RefState* state, uint16_t addr, uint64_t value) {
+  switch (addr) {
+    case kCsrMstatus:
+      state->mstatus = LegalizeStatus(state->mstatus, value);
+      return;
+    case kCsrMisa:
+    case kCsrMvendorid:
+    case kCsrMarchid:
+    case kCsrMimpid:
+    case kCsrMhartid:
+    case kCsrMconfigptr:
+      return;
+    case kCsrMedeleg:
+      state->medeleg = value & kMedelegMask;
+      return;
+    case kCsrMideleg:
+      state->mideleg = value & kSupervisorInterrupts;
+      return;
+    case kCsrMie:
+      state->mie = value & kMieBits;
+      return;
+    case kCsrMip: {
+      uint64_t writable = kMipWritable;
+      if (SstcActive(config, *state)) {
+        writable &= ~InterruptMask(InterruptCause::kSupervisorTimer);
+      }
+      state->mip = (state->mip & ~writable) | (value & writable);
+      return;
+    }
+    case kCsrMtvec:
+      state->mtvec = LegalizeTvecRef(state->mtvec, value);
+      return;
+    case kCsrMcounteren:
+      state->mcounteren = value & 0xFFFFFFFF;
+      return;
+    case kCsrMenvcfg: {
+      uint64_t writable = uint64_t{0xF1};
+      if (config.has_sstc) {
+        writable |= kStceBit;
+      }
+      state->menvcfg = value & writable;
+      return;
+    }
+    case kCsrMcountinhibit:
+      state->mcountinhibit = value & 0xFFFFFFFD;
+      return;
+    case kCsrMscratch:
+      state->mscratch = value;
+      return;
+    case kCsrMepc:
+      state->mepc = value & ~uint64_t{3};
+      return;
+    case kCsrMcause:
+      state->mcause = value & (kInterruptBit | 0xFF);
+      return;
+    case kCsrMtval:
+      state->mtval = value;
+      return;
+    case kCsrMseccfg:
+      state->mseccfg = value & 0x7;
+      return;
+    case kCsrMcycle:
+      state->mcycle = value;
+      return;
+    case kCsrMinstret:
+      state->minstret = value;
+      return;
+    case kCsrSstatus:
+      state->mstatus = LegalizeStatus(state->mstatus,
+                                      (state->mstatus & ~kSstatusMask) | (value & kSstatusMask));
+      return;
+    case kCsrSie: {
+      const uint64_t accessible = state->mideleg & kSieBits;
+      state->mie = (state->mie & ~accessible) | (value & accessible);
+      return;
+    }
+    case kCsrSip: {
+      const uint64_t accessible = state->mideleg & kSipWritableThroughSip;
+      state->mip = (state->mip & ~accessible) | (value & accessible);
+      return;
+    }
+    case kCsrStvec:
+      state->stvec = LegalizeTvecRef(state->stvec, value);
+      return;
+    case kCsrScounteren:
+      state->scounteren = value & 0xFFFFFFFF;
+      return;
+    case kCsrSenvcfg:
+      state->senvcfg = value & 0xF1;
+      return;
+    case kCsrSscratch:
+      state->sscratch = value;
+      return;
+    case kCsrSepc:
+      state->sepc = value & ~uint64_t{3};
+      return;
+    case kCsrScause:
+      state->scause = value & (kInterruptBit | 0xFF);
+      return;
+    case kCsrStval:
+      state->stval = value;
+      return;
+    case kCsrSatp: {
+      const uint64_t mode = ExtractBits(value, SatpBits::kModeHi, SatpBits::kModeLo);
+      if (mode != SatpBits::kModeBare && mode != SatpBits::kModeSv39) {
+        return;
+      }
+      state->satp = value & ~MaskRange(SatpBits::kAsidHi, SatpBits::kAsidLo);
+      return;
+    }
+    case kCsrStimecmp:
+      state->stimecmp = value;
+      return;
+    case kCsrCustom0:
+    case kCsrCustom1:
+    case kCsrCustom2:
+    case kCsrCustom3:
+      state->custom[addr - kCsrCustom0] = value;
+      return;
+    default:
+      break;
+  }
+  if (addr >= kCsrPmpcfg0 && addr < kCsrPmpcfg0 + 16) {
+    const unsigned first = (addr - kCsrPmpcfg0) * 4;
+    for (unsigned i = 0; i < 8; ++i) {
+      const unsigned entry = first + i;
+      if (entry >= config.pmp_entries) {
+        continue;
+      }
+      const uint64_t old_byte = state->pmpcfg[entry];
+      if ((old_byte & 0x80) != 0) {
+        continue;  // locked
+      }
+      state->pmpcfg[entry] = LegalizeCfgByte(old_byte, (value >> (8 * i)) & 0xFF);
+    }
+    return;
+  }
+  if (addr >= kCsrPmpaddr0 && addr < kCsrPmpaddr0 + 64) {
+    const unsigned index = addr - kCsrPmpaddr0;
+    if (index >= config.pmp_entries) {
+      return;
+    }
+    if ((state->pmpcfg[index] & 0x80) != 0) {
+      return;  // locked entry
+    }
+    if (index + 1 < config.pmp_entries) {
+      const uint64_t next = state->pmpcfg[index + 1];
+      const bool next_locked_tor = (next & 0x80) != 0 && ((next >> 3) & 3) == 1;
+      if (next_locked_tor) {
+        return;
+      }
+    }
+    state->pmpaddr[index] = value & MaskLow(54);
+    return;
+  }
+  // Hardwired-zero counters: writes are ignored.
+}
+
+bool RefCsrRead(const RefConfig& config, const RefState& state, uint16_t addr, PrivMode priv,
+                uint64_t* out) {
+  if (!RefCsrExists(config, addr)) {
+    return false;
+  }
+  if (static_cast<uint8_t>(priv) < static_cast<uint8_t>(CsrMinPriv(addr))) {
+    return false;
+  }
+  if (IsCounterAddr(addr) && priv != PrivMode::kMachine) {
+    unsigned bit = addr - 0xC00;
+    if (bit > 31) {
+      bit = 0;
+    }
+    if ((state.mcounteren & (uint64_t{1} << bit)) == 0) {
+      return false;
+    }
+    if (priv == PrivMode::kUser && (state.scounteren & (uint64_t{1} << bit)) == 0) {
+      return false;
+    }
+  }
+  if (addr == kCsrSatp && priv == PrivMode::kSupervisor &&
+      Bit(state.mstatus, MstatusBits::kTvm) != 0) {
+    return false;
+  }
+  if (addr == kCsrStimecmp && priv == PrivMode::kSupervisor &&
+      (state.menvcfg & kStceBit) == 0) {
+    return false;
+  }
+  *out = RefCsrGet(config, state, addr);
+  return true;
+}
+
+bool RefCsrWrite(const RefConfig& config, RefState* state, uint16_t addr, PrivMode priv,
+                 uint64_t value) {
+  if (!RefCsrExists(config, addr)) {
+    return false;
+  }
+  if (CsrIsReadOnly(addr)) {
+    return false;
+  }
+  if (static_cast<uint8_t>(priv) < static_cast<uint8_t>(CsrMinPriv(addr))) {
+    return false;
+  }
+  if (addr == kCsrSatp && priv == PrivMode::kSupervisor &&
+      Bit(state->mstatus, MstatusBits::kTvm) != 0) {
+    return false;
+  }
+  if (addr == kCsrStimecmp && priv == PrivMode::kSupervisor &&
+      (state->menvcfg & kStceBit) == 0) {
+    return false;
+  }
+  RefCsrSet(config, state, addr, value);
+  return true;
+}
+
+void RefTrapEntry(RefState* state, uint64_t cause, uint64_t tval) {
+  const bool is_interrupt = (cause & kInterruptBit) != 0;
+  const uint64_t code = cause & ~kInterruptBit;
+  const uint64_t deleg = is_interrupt ? state->mideleg : state->medeleg;
+  const bool to_s = state->priv != PrivMode::kMachine && code < 64 &&
+                    (deleg & (uint64_t{1} << code)) != 0;
+  if (to_s) {
+    state->scause = cause;
+    state->sepc = state->pc & ~uint64_t{3};
+    state->stval = tval;
+    uint64_t mstatus = state->mstatus;
+    mstatus = SetBit(mstatus, MstatusBits::kSpie, Bit(mstatus, MstatusBits::kSie));
+    mstatus = SetBit(mstatus, MstatusBits::kSie, 0);
+    mstatus = SetBit(mstatus, MstatusBits::kSpp, state->priv == PrivMode::kUser ? 0 : 1);
+    state->mstatus = LegalizeStatus(state->mstatus, mstatus);
+    state->priv = PrivMode::kSupervisor;
+    state->pc = TrapTargetPc(state->stvec, cause);
+    return;
+  }
+  state->mcause = cause;
+  state->mepc = state->pc & ~uint64_t{3};
+  state->mtval = tval;
+  uint64_t mstatus = state->mstatus;
+  mstatus = SetBit(mstatus, MstatusBits::kMpie, Bit(mstatus, MstatusBits::kMie));
+  mstatus = SetBit(mstatus, MstatusBits::kMie, 0);
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(state->priv));
+  state->mstatus = LegalizeStatus(state->mstatus, mstatus);
+  state->priv = PrivMode::kMachine;
+  state->pc = TrapTargetPc(state->mtvec, cause);
+}
+
+bool RefMret(RefState* state) {
+  if (state->priv != PrivMode::kMachine) {
+    return false;
+  }
+  uint64_t mstatus = state->mstatus;
+  const uint64_t mpp = ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo);
+  mstatus = SetBit(mstatus, MstatusBits::kMie, Bit(mstatus, MstatusBits::kMpie));
+  mstatus = SetBit(mstatus, MstatusBits::kMpie, 1);
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(PrivMode::kUser));
+  if (mpp != static_cast<uint64_t>(PrivMode::kMachine)) {
+    mstatus = SetBit(mstatus, MstatusBits::kMprv, 0);
+  }
+  state->mstatus = LegalizeStatus(state->mstatus, mstatus);
+  state->priv = static_cast<PrivMode>(mpp);
+  state->pc = state->mepc;
+  return true;
+}
+
+bool RefSret(RefState* state) {
+  if (state->priv == PrivMode::kUser) {
+    return false;
+  }
+  if (state->priv == PrivMode::kSupervisor && Bit(state->mstatus, MstatusBits::kTsr) != 0) {
+    return false;
+  }
+  uint64_t mstatus = state->mstatus;
+  const bool spp = Bit(mstatus, MstatusBits::kSpp) != 0;
+  mstatus = SetBit(mstatus, MstatusBits::kSie, Bit(mstatus, MstatusBits::kSpie));
+  mstatus = SetBit(mstatus, MstatusBits::kSpie, 1);
+  mstatus = SetBit(mstatus, MstatusBits::kSpp, 0);
+  mstatus = SetBit(mstatus, MstatusBits::kMprv, 0);
+  state->mstatus = LegalizeStatus(state->mstatus, mstatus);
+  state->priv = spp ? PrivMode::kSupervisor : PrivMode::kUser;
+  state->pc = state->sepc;
+  return true;
+}
+
+bool RefWfi(const RefState& state) {
+  if (state.priv == PrivMode::kUser) {
+    return false;
+  }
+  if (state.priv == PrivMode::kSupervisor && Bit(state.mstatus, MstatusBits::kTw) != 0) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<uint64_t> RefPendingInterrupt(const RefState& state) {
+  const uint64_t pending = state.mip & state.mie;
+  if (pending == 0) {
+    return std::nullopt;
+  }
+  const uint64_t m_pending = pending & ~state.mideleg;
+  const bool m_enabled = state.priv != PrivMode::kMachine ||
+                         Bit(state.mstatus, MstatusBits::kMie) != 0;
+  static const InterruptCause kMPriority[] = {
+      InterruptCause::kMachineExternal,    InterruptCause::kMachineSoftware,
+      InterruptCause::kMachineTimer,       InterruptCause::kSupervisorExternal,
+      InterruptCause::kSupervisorSoftware, InterruptCause::kSupervisorTimer,
+  };
+  if (m_pending != 0 && m_enabled) {
+    for (InterruptCause cause : kMPriority) {
+      if ((m_pending & InterruptMask(cause)) != 0) {
+        return CauseValue(cause);
+      }
+    }
+  }
+  const uint64_t s_pending = pending & state.mideleg;
+  const bool s_enabled = state.priv == PrivMode::kUser ||
+                         (state.priv == PrivMode::kSupervisor &&
+                          Bit(state.mstatus, MstatusBits::kSie) != 0);
+  if (s_pending != 0 && state.priv != PrivMode::kMachine && s_enabled) {
+    static const InterruptCause kSPriority[] = {
+        InterruptCause::kSupervisorExternal,
+        InterruptCause::kSupervisorSoftware,
+        InterruptCause::kSupervisorTimer,
+    };
+    for (InterruptCause cause : kSPriority) {
+      if ((s_pending & InterruptMask(cause)) != 0) {
+        return CauseValue(cause);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+RefStepResult RefStep(const RefConfig& config, const RefState& state, const DecodedInstr& d) {
+  RefStepResult result;
+  result.state = state;
+  RefState& s = result.state;
+
+  auto illegal = [&]() {
+    s = state;
+    result.trapped = true;
+    result.trap_cause = CauseValue(ExceptionCause::kIllegalInstr);
+    RefTrapEntry(&s, result.trap_cause, d.raw);
+  };
+
+  switch (d.op) {
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci: {
+      const bool is_imm = d.op == Op::kCsrrwi || d.op == Op::kCsrrsi || d.op == Op::kCsrrci;
+      const uint64_t operand = is_imm ? d.zimm : state.gpr[d.rs1];
+      const bool is_write_op = d.op == Op::kCsrrw || d.op == Op::kCsrrwi;
+      const bool write_needed = is_write_op || d.rs1 != 0 || (is_imm && d.zimm != 0);
+      const bool read_needed = !is_write_op || d.rd != 0;
+      uint64_t old_value = 0;
+      if (read_needed) {
+        if (!RefCsrRead(config, state, d.csr, state.priv, &old_value)) {
+          illegal();
+          return result;
+        }
+      }
+      if (write_needed) {
+        uint64_t new_value = operand;
+        if (d.op == Op::kCsrrs || d.op == Op::kCsrrsi) {
+          new_value = old_value | operand;
+        } else if (d.op == Op::kCsrrc || d.op == Op::kCsrrci) {
+          new_value = old_value & ~operand;
+        }
+        if (!RefCsrWrite(config, &s, d.csr, state.priv, new_value)) {
+          illegal();
+          return result;
+        }
+      }
+      if (d.rd != 0) {
+        s.gpr[d.rd] = old_value;
+      }
+      s.pc = state.pc + 4;
+      return result;
+    }
+    case Op::kMret:
+      if (!RefMret(&s)) {
+        illegal();
+      }
+      return result;
+    case Op::kSret:
+      if (!RefSret(&s)) {
+        illegal();
+      }
+      return result;
+    case Op::kWfi:
+      if (!RefWfi(s)) {
+        illegal();
+        return result;
+      }
+      s.pc = state.pc + 4;
+      return result;
+    case Op::kSfenceVma:
+      if (s.priv == PrivMode::kUser ||
+          (s.priv == PrivMode::kSupervisor && Bit(s.mstatus, MstatusBits::kTvm) != 0)) {
+        illegal();
+        return result;
+      }
+      s.pc = state.pc + 4;
+      return result;
+    case Op::kEcall: {
+      uint64_t cause = CauseValue(ExceptionCause::kEcallFromU);
+      if (s.priv == PrivMode::kSupervisor) {
+        cause = CauseValue(ExceptionCause::kEcallFromS);
+      } else if (s.priv == PrivMode::kMachine) {
+        cause = CauseValue(ExceptionCause::kEcallFromM);
+      }
+      result.trapped = true;
+      result.trap_cause = cause;
+      RefTrapEntry(&s, cause, 0);
+      return result;
+    }
+    case Op::kEbreak:
+      result.trapped = true;
+      result.trap_cause = CauseValue(ExceptionCause::kBreakpoint);
+      RefTrapEntry(&s, result.trap_cause, state.pc);
+      return result;
+    default:
+      illegal();
+      return result;
+  }
+}
+
+}  // namespace vfm

@@ -1,0 +1,127 @@
+// An independent, specification-direct reference model of the RISC-V privileged
+// architecture, playing the role the official Sail model plays in the paper (§6.1).
+// The monitor's privileged-instruction emulator is checked against this model by
+// exhaustive differential testing (src/verif), per the faithful-emulation criterion
+// (Definition 1). It deliberately shares no logic with the hart simulator or the
+// monitor: each clause below was translated directly from the privileged spec prose.
+//
+// The model is a pure transition function over an explicit flat state, like the
+// hw : C x S x I -> S function of §6.1. No memory is modeled; loads/stores are
+// covered by the faithful-execution checks via the shared pmpCheck (src/pmp).
+
+#ifndef SRC_REFMODEL_REFMODEL_H_
+#define SRC_REFMODEL_REFMODEL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/csr.h"
+#include "src/isa/instr.h"
+#include "src/isa/priv.h"
+
+namespace vfm {
+
+// Platform configuration (the c in hw(c, s, i)).
+struct RefConfig {
+  unsigned pmp_entries = 8;
+  bool has_time_csr = false;
+  bool has_sstc = false;
+  bool has_custom_csrs = false;
+};
+
+// Architectural state (the s in hw(c, s, i)). Flat and copyable so differential
+// checks can compare whole states.
+struct RefState {
+  uint64_t pc = 0;
+  PrivMode priv = PrivMode::kMachine;
+  uint64_t gpr[32] = {};
+
+  uint64_t mstatus = (uint64_t{2} << MstatusBits::kUxlLo) | (uint64_t{2} << MstatusBits::kSxlLo);
+  uint64_t misa = 0;
+  uint64_t medeleg = 0;
+  uint64_t mideleg = 0;
+  uint64_t mie = 0;
+  uint64_t mip = 0;
+  uint64_t mtvec = 0;
+  uint64_t mcounteren = 0;
+  uint64_t menvcfg = 0;
+  uint64_t mcountinhibit = 0;
+  uint64_t mscratch = 0;
+  uint64_t mepc = 0;
+  uint64_t mcause = 0;
+  uint64_t mtval = 0;
+  uint64_t mseccfg = 0;
+  uint64_t mcycle = 0;
+  uint64_t minstret = 0;
+
+  uint64_t stvec = 0;
+  uint64_t scounteren = 0;
+  uint64_t senvcfg = 0;
+  uint64_t sscratch = 0;
+  uint64_t sepc = 0;
+  uint64_t scause = 0;
+  uint64_t stval = 0;
+  uint64_t satp = 0;
+  uint64_t stimecmp = ~uint64_t{0};
+
+  uint64_t pmpcfg[64] = {};   // one byte per entry, stored unpacked
+  uint64_t pmpaddr[64] = {};
+  uint64_t custom[4] = {};
+
+  uint64_t time = 0;  // the mtime the platform exposes through the time CSR
+
+  bool operator==(const RefState&) const = default;
+};
+
+// The result of stepping the model: either a new state (possibly having taken a trap)
+// or a determination that the instruction raises illegal-instruction, which the model
+// also resolves into the post-trap state.
+struct RefStepResult {
+  RefState state;
+  bool trapped = false;
+  uint64_t trap_cause = 0;
+};
+
+// -- CSR primitives (spec chapter 2 + WARL rules). -----------------------------------
+
+// Whether the CSR exists on this configuration.
+bool RefCsrExists(const RefConfig& config, uint16_t addr);
+
+// Read a CSR value (no privilege check). Returns the architectural read value.
+uint64_t RefCsrGet(const RefConfig& config, const RefState& state, uint16_t addr);
+
+// Write a CSR with WARL legalization (no privilege check).
+void RefCsrSet(const RefConfig& config, RefState* state, uint16_t addr, uint64_t value);
+
+// Full privilege-checked access as performed by a csrrw/csrrs/... instruction.
+// Returns false when the access must raise illegal-instruction.
+bool RefCsrRead(const RefConfig& config, const RefState& state, uint16_t addr, PrivMode priv,
+                uint64_t* out);
+bool RefCsrWrite(const RefConfig& config, RefState* state, uint16_t addr, PrivMode priv,
+                 uint64_t value);
+
+// -- Trap entry and returns (spec chapter 3.1.6 ff). ---------------------------------
+
+// Architectural trap entry for `cause` at the current pc.
+void RefTrapEntry(RefState* state, uint64_t cause, uint64_t tval);
+
+// mret/sret/wfi. Return false when the instruction raises illegal-instruction.
+bool RefMret(RefState* state);
+bool RefSret(RefState* state);
+bool RefWfi(const RefState& state);  // true = executes (parks); false = illegal
+
+// -- Interrupt selection (spec 3.1.9). ------------------------------------------------
+
+// Which interrupt, if any, is taken before the next instruction.
+std::optional<uint64_t> RefPendingInterrupt(const RefState& state);
+
+// -- Whole-instruction transition (the hw function restricted to privileged ops). ----
+
+// Steps one privileged instruction (CSR ops, mret, sret, wfi, sfence.vma, ecall,
+// ebreak). Illegal outcomes are resolved into trap entries, so the result is always a
+// complete next state. Instructions outside the privileged set are not handled here.
+RefStepResult RefStep(const RefConfig& config, const RefState& state, const DecodedInstr& instr);
+
+}  // namespace vfm
+
+#endif  // SRC_REFMODEL_REFMODEL_H_

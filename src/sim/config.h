@@ -1,0 +1,47 @@
+// Static configuration of a simulated hart and the machine's cost model. Platform
+// profiles (src/platform) instantiate these to model the two evaluation boards.
+
+#ifndef SRC_SIM_CONFIG_H_
+#define SRC_SIM_CONFIG_H_
+
+#include <cstdint>
+
+namespace vfm {
+
+// Architectural feature set of a hart. Defaults model the evaluation platforms in the
+// paper: no hardware `time` CSR (reads trap and are emulated by firmware), no Sstc, and
+// misaligned loads/stores trap for firmware emulation (paper §3.4's five trap causes).
+struct HartIsaConfig {
+  unsigned pmp_entries = 8;
+  bool has_time_csr = false;      // rdtime reads mtime directly instead of trapping
+  bool has_sstc = false;          // stimecmp CSR + hardware supervisor timer
+  bool has_h_ext = false;         // minimal hypervisor extension subset
+  bool has_custom_csrs = false;   // platform CSRs 0x7C0..0x7C3 (P550-style)
+  bool hw_misaligned = false;     // hardware handles misaligned loads/stores
+  uint64_t mvendorid = 0;
+  uint64_t marchid = 0;
+  uint64_t mimpid = 0;
+};
+
+// Cycle-cost model. The simulator is not micro-architecturally accurate; these
+// parameters set the relative costs that the paper's measurements depend on (trap
+// round-trip cost, CSR access cost, memory cost), so each platform profile produces
+// its own absolute numbers while preserving the result shapes.
+struct CostModel {
+  uint64_t instr_base = 1;        // cycles per simple instruction
+  uint64_t instr_muldiv = 8;      // extra cycles for mul/div
+  uint64_t instr_mem = 2;         // extra cycles for loads/stores/amo
+  uint64_t trap_entry = 40;       // pipeline cost of a trap or xRET
+  uint64_t page_walk_level = 8;   // per level of a Sv39 table walk (uncached)
+  uint64_t hal_csr_access = 4;    // monitor HAL: one CSR read/write
+  uint64_t monitor_dispatch = 40; // monitor entry/exit + trap decode, per M-mode trap
+  uint64_t hal_mem_access = 3;    // monitor HAL: one memory word access
+  uint64_t hal_base_op = 1;       // monitor HAL: bookkeeping unit of work
+  uint64_t tlb_flush = 60;        // sfence.vma / world-switch TLB flush
+  uint64_t mtime_tick_cycles = 50;  // CPU cycles per mtime (timebase) tick
+  uint64_t freq_mhz = 1000;       // nominal core frequency, for reporting only
+};
+
+}  // namespace vfm
+
+#endif  // SRC_SIM_CONFIG_H_

@@ -1,0 +1,163 @@
+// Architectural CSR state of a simulated hart, with WARL legalization and
+// privilege-checked instruction-level access. This is the "hardware" side of the
+// paper's Figure 6: the monitor re-exposes the same interface virtually (src/core) and
+// the reference model re-specifies it independently (src/refmodel).
+
+#ifndef SRC_SIM_CSR_FILE_H_
+#define SRC_SIM_CSR_FILE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/isa/csr.h"
+#include "src/isa/priv.h"
+#include "src/pmp/pmp.h"
+#include "src/sim/config.h"
+
+namespace vfm {
+
+class CsrFile {
+ public:
+  explicit CsrFile(const HartIsaConfig& config, unsigned hart_index);
+
+  const HartIsaConfig& config() const { return config_; }
+
+  // -- Instruction-level access (privilege + existence + WARL checks). -------------
+  // Returns false for accesses that must raise an illegal-instruction exception.
+  // `priv` is the current privilege; `virt` the current virtualization mode (V bit).
+  bool ReadCsr(uint16_t addr, PrivMode priv, bool virt, uint64_t* out) const;
+  bool WriteCsr(uint16_t addr, PrivMode priv, bool virt, uint64_t value);
+
+  // -- Architectural access without privilege checks (trap logic, monitor HAL). ----
+  // Reads compose views (sstatus, sip, ...); writes apply WARL legalization.
+  uint64_t Get(uint16_t addr) const;
+  void Set(uint16_t addr, uint64_t value);
+
+  // -- Direct named state used by the execution engine. ---------------------------
+  uint64_t mstatus() const { return mstatus_; }
+  void set_mstatus(uint64_t value) { mstatus_ = LegalizeMstatus(mstatus_, value); }
+  uint64_t misa() const { return misa_; }
+  uint64_t medeleg() const { return medeleg_; }
+  uint64_t mideleg() const { return mideleg_; }
+  uint64_t hedeleg() const { return hedeleg_; }
+  uint64_t hideleg() const { return hideleg_; }
+  uint64_t mie() const { return mie_; }
+  uint64_t mtvec() const { return mtvec_; }
+  uint64_t stvec() const { return stvec_; }
+  uint64_t vstvec() const { return vstvec_; }
+  uint64_t mepc() const { return mepc_; }
+  uint64_t sepc() const { return sepc_; }
+  uint64_t satp() const { return satp_; }
+  uint64_t vsatp() const { return vsatp_; }
+  uint64_t hstatus() const { return hstatus_; }
+  uint64_t hgatp() const { return hgatp_; }
+  uint64_t stimecmp() const { return stimecmp_; }
+  uint64_t menvcfg() const { return menvcfg_; }
+
+  uint64_t mcycle() const { return mcycle_; }
+  void AddCycles(uint64_t cycles) { mcycle_ += cycles; }
+  uint64_t minstret() const { return minstret_; }
+  void AddInstret(uint64_t n) { minstret_ += n; }
+
+  // Effective mip: software-writable bits OR hardware interrupt lines OR the Sstc
+  // comparator. The machine refreshes the lines each step.
+  uint64_t EffectiveMip() const;
+  void SetInterruptLine(InterruptCause cause, bool level);
+  // Software view used by mip writes (the machine-owned lines are read-only there).
+  uint64_t mip_sw() const { return mip_; }
+  void set_mip_sw(uint64_t value) {
+    uint64_t writable = kSupervisorInterrupts;
+    if (config_.has_h_ext) {
+      writable |= kVsInterrupts;
+    }
+    mip_ = value & writable;
+  }
+
+  PmpBank& pmp() { return pmp_; }
+  const PmpBank& pmp() const { return pmp_; }
+
+  // Time source for the `time` CSR and the Sstc comparator (wired to the CLINT).
+  void set_time_source(std::function<uint64_t()> source) { time_source_ = std::move(source); }
+  uint64_t ReadTime() const { return time_source_ ? time_source_() : 0; }
+
+  // Legalization helpers, exposed for tests.
+  uint64_t LegalizeMstatus(uint64_t old_value, uint64_t new_value) const;
+  static uint64_t LegalizeTvec(uint64_t old_value, uint64_t new_value);
+  uint64_t LegalizeEpc(uint64_t value) const { return value & ~uint64_t{3}; }
+
+  static constexpr uint64_t kMipSwWritable =
+      InterruptMask(InterruptCause::kSupervisorSoftware) |
+      InterruptMask(InterruptCause::kSupervisorTimer) |
+      InterruptMask(InterruptCause::kSupervisorExternal) |
+      InterruptMask(InterruptCause::kVirtualSupervisorSoftware) |
+      InterruptMask(InterruptCause::kVirtualSupervisorTimer) |
+      InterruptMask(InterruptCause::kVirtualSupervisorExternal);
+
+ private:
+  bool CsrExists(uint16_t addr) const;
+  bool CounterReadable(uint16_t addr, PrivMode priv) const;
+
+  HartIsaConfig config_;
+  unsigned hart_index_;
+  std::function<uint64_t()> time_source_;
+
+  // Machine-level state.
+  uint64_t misa_ = 0;
+  uint64_t mstatus_ = 0;
+  uint64_t medeleg_ = 0;
+  uint64_t mideleg_ = 0;
+  uint64_t mie_ = 0;
+  uint64_t mip_ = 0;        // software-writable bits
+  uint64_t mip_lines_ = 0;  // hardware lines (MSIP/MTIP/MEIP/SEIP)
+  uint64_t mtvec_ = 0;
+  uint64_t mcounteren_ = 0;
+  uint64_t menvcfg_ = 0;
+  uint64_t mcountinhibit_ = 0;
+  uint64_t mscratch_ = 0;
+  uint64_t mepc_ = 0;
+  uint64_t mcause_ = 0;
+  uint64_t mtval_ = 0;
+  uint64_t mtval2_ = 0;
+  uint64_t mtinst_ = 0;
+  uint64_t mseccfg_ = 0;
+  uint64_t mcycle_ = 0;
+  uint64_t minstret_ = 0;
+  uint64_t custom_[4] = {};
+
+  // Supervisor-level state.
+  uint64_t stvec_ = 0;
+  uint64_t scounteren_ = 0;
+  uint64_t senvcfg_ = 0;
+  uint64_t sscratch_ = 0;
+  uint64_t sepc_ = 0;
+  uint64_t scause_ = 0;
+  uint64_t stval_ = 0;
+  uint64_t satp_ = 0;
+  uint64_t stimecmp_ = ~uint64_t{0};
+
+  // Hypervisor + virtual-supervisor state (minimal subset).
+  uint64_t hstatus_ = 0;
+  uint64_t hedeleg_ = 0;
+  uint64_t hideleg_ = 0;
+  uint64_t hie_ = 0;
+  uint64_t htimedelta_ = 0;
+  uint64_t hcounteren_ = 0;
+  uint64_t henvcfg_ = 0;
+  uint64_t htval_ = 0;
+  uint64_t hvip_ = 0;
+  uint64_t htinst_ = 0;
+  uint64_t hgatp_ = 0;
+  uint64_t vsstatus_ = 0;
+  uint64_t vstvec_ = 0;
+  uint64_t vsscratch_ = 0;
+  uint64_t vsepc_ = 0;
+  uint64_t vscause_ = 0;
+  uint64_t vstval_ = 0;
+  uint64_t vsatp_ = 0;
+
+  PmpBank pmp_;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_SIM_CSR_FILE_H_

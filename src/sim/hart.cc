@@ -1,0 +1,954 @@
+#include "src/sim/hart.h"
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace vfm {
+
+namespace {
+
+unsigned AccessSizeOf(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+      return 1;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    case Op::kLw:
+    case Op::kLwu:
+    case Op::kSw:
+      return 4;
+    default:
+      return 8;
+  }
+}
+
+bool IsStoreOp(Op op) { return op == Op::kSb || op == Op::kSh || op == Op::kSw || op == Op::kSd; }
+
+}  // namespace
+
+Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost)
+    : index_(index), bus_(bus), cost_(cost), csrs_(isa, index) {}
+
+PrivMode Hart::DataPriv() const {
+  const uint64_t mstatus = csrs_.mstatus();
+  if (priv_ == PrivMode::kMachine && Bit(mstatus, MstatusBits::kMprv) != 0) {
+    return static_cast<PrivMode>(ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo));
+  }
+  return priv_;
+}
+
+bool Hart::DataVirt() const {
+  const uint64_t mstatus = csrs_.mstatus();
+  if (priv_ == PrivMode::kMachine && Bit(mstatus, MstatusBits::kMprv) != 0) {
+    return Bit(mstatus, MstatusBits::kMpv) != 0 &&
+           ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo) !=
+               static_cast<uint64_t>(PrivMode::kMachine);
+  }
+  return virt_;
+}
+
+Hart::AccessOutcome Hart::Translate(uint64_t vaddr, unsigned size, AccessType type,
+                                    PrivMode priv, bool use_vsatp) {
+  AccessOutcome out;
+  TranslateParams params;
+  params.satp = use_vsatp ? csrs_.vsatp() : csrs_.satp();
+  params.priv = priv;
+  const uint64_t status = use_vsatp ? csrs_.Get(kCsrVsstatus) : csrs_.mstatus();
+  params.sum = Bit(status, MstatusBits::kSum) != 0;
+  params.mxr = Bit(status, MstatusBits::kMxr) != 0;
+
+  const TranslateResult tr = TranslateSv39(bus_, csrs_.pmp(), params, vaddr, type);
+  if (!tr.ok) {
+    out.cause = tr.fault;
+    return out;
+  }
+  out.extra_cycles = tr.walk_levels * cost_->page_walk_level;
+  if (!csrs_.pmp().Check(tr.paddr, size, type, priv)) {
+    out.cause = AccessFaultFor(type);
+    return out;
+  }
+  out.ok = true;
+  out.paddr = tr.paddr;
+  return out;
+}
+
+Hart::MemResult Hart::ReadMemory(uint64_t vaddr, unsigned size, uint64_t* value) {
+  MemResult result;
+  if (!csrs_.config().hw_misaligned && !IsAligned(vaddr, size)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kLoadAddrMisaligned;
+    return result;
+  }
+  const AccessOutcome out = Translate(vaddr, size, AccessType::kLoad, DataPriv(), DataVirt());
+  if (!out.ok) {
+    result.ok = false;
+    result.cause = out.cause;
+    return result;
+  }
+  if (!bus_->Read(out.paddr, size, value)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kLoadAccessFault;
+    return result;
+  }
+  return result;
+}
+
+Hart::MemResult Hart::WriteMemory(uint64_t vaddr, unsigned size, uint64_t value) {
+  MemResult result;
+  if (!csrs_.config().hw_misaligned && !IsAligned(vaddr, size)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kStoreAddrMisaligned;
+    return result;
+  }
+  const AccessOutcome out = Translate(vaddr, size, AccessType::kStore, DataPriv(), DataVirt());
+  if (!out.ok) {
+    result.ok = false;
+    result.cause = out.cause;
+    return result;
+  }
+  if (!bus_->Write(out.paddr, size, value)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kStoreAccessFault;
+    return result;
+  }
+  return result;
+}
+
+Hart::MemResult Hart::ReadMemoryAs(PrivMode priv, uint64_t satp_override, uint64_t vaddr,
+                                   unsigned size, uint64_t* value,
+                                   const PmpBank* pmp_override) {
+  MemResult result;
+  const PmpBank& pmp = pmp_override != nullptr ? *pmp_override : csrs_.pmp();
+  TranslateParams params;
+  params.satp = satp_override;
+  params.priv = priv;
+  const uint64_t mstatus = csrs_.mstatus();
+  params.sum = Bit(mstatus, MstatusBits::kSum) != 0;
+  params.mxr = Bit(mstatus, MstatusBits::kMxr) != 0;
+  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, AccessType::kLoad);
+  if (!tr.ok) {
+    result.ok = false;
+    result.cause = tr.fault;
+    return result;
+  }
+  if (!pmp.Check(tr.paddr, size, AccessType::kLoad, priv) ||
+      !bus_->Read(tr.paddr, size, value)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kLoadAccessFault;
+    return result;
+  }
+  return result;
+}
+
+Hart::MemResult Hart::WriteMemoryAs(PrivMode priv, uint64_t satp_override, uint64_t vaddr,
+                                    unsigned size, uint64_t value,
+                                    const PmpBank* pmp_override) {
+  MemResult result;
+  const PmpBank& pmp = pmp_override != nullptr ? *pmp_override : csrs_.pmp();
+  TranslateParams params;
+  params.satp = satp_override;
+  params.priv = priv;
+  const uint64_t mstatus = csrs_.mstatus();
+  params.sum = Bit(mstatus, MstatusBits::kSum) != 0;
+  params.mxr = Bit(mstatus, MstatusBits::kMxr) != 0;
+  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, AccessType::kStore);
+  if (!tr.ok) {
+    result.ok = false;
+    result.cause = tr.fault;
+    return result;
+  }
+  if (!pmp.Check(tr.paddr, size, AccessType::kStore, priv) ||
+      !bus_->Write(tr.paddr, size, value)) {
+    result.ok = false;
+    result.cause = ExceptionCause::kStoreAccessFault;
+    return result;
+  }
+  return result;
+}
+
+std::optional<uint64_t> Hart::PendingInterrupt() const {
+  const uint64_t mip = csrs_.EffectiveMip();
+  const uint64_t mie = csrs_.mie();
+  const uint64_t pending = mip & mie;
+  if (pending == 0) {
+    return std::nullopt;  // fast path: nothing pending and enabled
+  }
+  const uint64_t mideleg = csrs_.Get(kCsrMideleg);
+  const uint64_t mstatus = csrs_.mstatus();
+
+  // Machine-level interrupts (not delegated).
+  const uint64_t m_pending = pending & ~mideleg;
+  const bool m_enabled =
+      priv_ != PrivMode::kMachine || Bit(mstatus, MstatusBits::kMie) != 0;
+  if (m_pending != 0 && m_enabled) {
+    static const InterruptCause kPriority[] = {
+        InterruptCause::kMachineExternal,   InterruptCause::kMachineSoftware,
+        InterruptCause::kMachineTimer,      InterruptCause::kSupervisorExternal,
+        InterruptCause::kSupervisorSoftware, InterruptCause::kSupervisorTimer,
+    };
+    for (InterruptCause cause : kPriority) {
+      if ((m_pending & InterruptMask(cause)) != 0) {
+        return CauseValue(cause);
+      }
+    }
+  }
+
+  // Supervisor-level interrupts (delegated to S, not to VS).
+  const uint64_t hideleg = csrs_.config().has_h_ext ? csrs_.hideleg() : 0;
+  const uint64_t s_pending = pending & mideleg & ~hideleg & ~kVsInterrupts;
+  const bool s_enabled =
+      priv_ == PrivMode::kUser || virt_ ||
+      (priv_ == PrivMode::kSupervisor && Bit(mstatus, MstatusBits::kSie) != 0);
+  if (s_pending != 0 && priv_ != PrivMode::kMachine && s_enabled) {
+    static const InterruptCause kPriority[] = {
+        InterruptCause::kSupervisorExternal,
+        InterruptCause::kSupervisorSoftware,
+        InterruptCause::kSupervisorTimer,
+    };
+    for (InterruptCause cause : kPriority) {
+      if ((s_pending & InterruptMask(cause)) != 0) {
+        return CauseValue(cause);
+      }
+    }
+  }
+
+  // VS-level interrupts: taken only while in a virtualized mode.
+  if (csrs_.config().has_h_ext) {
+    const uint64_t vs_pending = pending & (mideleg | kVsInterrupts) & hideleg & kVsInterrupts;
+    const uint64_t vsstatus = csrs_.Get(kCsrVsstatus);
+    const bool vs_enabled =
+        virt_ && (priv_ == PrivMode::kUser ||
+                  (priv_ == PrivMode::kSupervisor && Bit(vsstatus, MstatusBits::kSie) != 0));
+    if (vs_pending != 0 && vs_enabled) {
+      static const InterruptCause kPriority[] = {
+          InterruptCause::kVirtualSupervisorExternal,
+          InterruptCause::kVirtualSupervisorSoftware,
+          InterruptCause::kVirtualSupervisorTimer,
+      };
+      for (InterruptCause cause : kPriority) {
+        if ((vs_pending & InterruptMask(cause)) != 0) {
+          return CauseValue(cause);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+StepResult Hart::TakeTrap(uint64_t cause, uint64_t tval) {
+  StepResult result;
+  result.executed = true;
+  result.trapped = true;
+  result.trap_cause = cause;
+  result.cycles = cost_->trap_entry;
+  ++traps_taken_;
+  waiting_ = false;
+
+  const bool is_interrupt = (cause & kInterruptBit) != 0;
+  const uint64_t code = cause & ~kInterruptBit;
+  const uint64_t deleg = is_interrupt ? csrs_.Get(kCsrMideleg) : csrs_.medeleg();
+  const bool delegated_to_s =
+      priv_ != PrivMode::kMachine && code < 64 && (deleg & (uint64_t{1} << code)) != 0;
+
+  if (delegated_to_s && csrs_.config().has_h_ext && virt_) {
+    const uint64_t hdeleg = is_interrupt ? csrs_.hideleg() : csrs_.hedeleg();
+    if (code < 64 && (hdeleg & (uint64_t{1} << code)) != 0) {
+      // Trap to VS-mode. VS interrupts use the supervisor encoding inside the guest.
+      uint64_t vs_code = code;
+      if (is_interrupt && (InterruptMask(static_cast<InterruptCause>(code)) & kVsInterrupts)) {
+        vs_code = code - 1;
+      }
+      csrs_.Set(kCsrVscause, (is_interrupt ? kInterruptBit : 0) | vs_code);
+      csrs_.Set(kCsrVsepc, pc_);
+      csrs_.Set(kCsrVstval, tval);
+      uint64_t vsstatus = csrs_.Get(kCsrVsstatus);
+      vsstatus = SetBit(vsstatus, MstatusBits::kSpie, Bit(vsstatus, MstatusBits::kSie));
+      vsstatus = SetBit(vsstatus, MstatusBits::kSie, 0);
+      vsstatus = SetBit(vsstatus, MstatusBits::kSpp,
+                        priv_ == PrivMode::kUser ? 0 : 1);
+      csrs_.Set(kCsrVsstatus, vsstatus);
+      priv_ = PrivMode::kSupervisor;
+      pc_ = TrapTargetPc(csrs_.vstvec(), (is_interrupt ? kInterruptBit : 0) | vs_code);
+      result.trap_target = PrivMode::kSupervisor;
+      return result;
+    }
+    // Trap to HS-mode from a virtualized mode.
+    uint64_t hstatus = csrs_.Get(kCsrHstatus);
+    hstatus = SetBit(hstatus, HstatusBits::kSpv, 1);
+    hstatus = SetBit(hstatus, HstatusBits::kSpvp, priv_ == PrivMode::kUser ? 0 : 1);
+    csrs_.Set(kCsrHstatus, hstatus);
+    virt_ = false;
+  } else if (delegated_to_s && csrs_.config().has_h_ext) {
+    uint64_t hstatus = csrs_.Get(kCsrHstatus);
+    hstatus = SetBit(hstatus, HstatusBits::kSpv, 0);
+    csrs_.Set(kCsrHstatus, hstatus);
+  }
+
+  if (delegated_to_s) {
+    csrs_.Set(kCsrScause, cause);
+    csrs_.Set(kCsrSepc, pc_);
+    csrs_.Set(kCsrStval, tval);
+    uint64_t mstatus = csrs_.mstatus();
+    mstatus = SetBit(mstatus, MstatusBits::kSpie, Bit(mstatus, MstatusBits::kSie));
+    mstatus = SetBit(mstatus, MstatusBits::kSie, 0);
+    mstatus = SetBit(mstatus, MstatusBits::kSpp, priv_ == PrivMode::kUser ? 0 : 1);
+    csrs_.set_mstatus(mstatus);
+    priv_ = PrivMode::kSupervisor;
+    pc_ = TrapTargetPc(csrs_.stvec(), cause);
+    result.trap_target = PrivMode::kSupervisor;
+    return result;
+  }
+
+  // Trap to M-mode.
+  csrs_.Set(kCsrMcause, cause);
+  csrs_.Set(kCsrMepc, pc_);
+  csrs_.Set(kCsrMtval, tval);
+  uint64_t mstatus = csrs_.mstatus();
+  mstatus = SetBit(mstatus, MstatusBits::kMpie, Bit(mstatus, MstatusBits::kMie));
+  mstatus = SetBit(mstatus, MstatusBits::kMie, 0);
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(priv_));
+  if (csrs_.config().has_h_ext) {
+    mstatus = SetBit(mstatus, MstatusBits::kMpv, virt_ ? 1 : 0);
+  }
+  csrs_.set_mstatus(mstatus);
+  virt_ = false;
+  priv_ = PrivMode::kMachine;
+  pc_ = TrapTargetPc(csrs_.mtvec(), cause);
+  result.trap_target = PrivMode::kMachine;
+  result.entered_mmode = true;
+  return result;
+}
+
+StepResult Hart::Retire(uint64_t next_pc, uint64_t cycles) {
+  StepResult result;
+  result.executed = true;
+  result.cycles = cycles;
+  pc_ = next_pc;
+  return result;
+}
+
+StepResult Hart::IllegalInstr(const DecodedInstr& instr) {
+  return TakeTrap(CauseValue(ExceptionCause::kIllegalInstr), instr.raw);
+}
+
+StepResult Hart::Tick() {
+  // Interrupts are sampled before instruction execution.
+  if (const std::optional<uint64_t> interrupt = PendingInterrupt()) {
+    return TakeTrap(*interrupt, 0);
+  }
+  if (waiting_) {
+    // WFI parks the hart until an interrupt is pending (enabled or not).
+    if ((csrs_.EffectiveMip() & csrs_.mie()) != 0) {
+      waiting_ = false;
+    } else {
+      StepResult result;
+      result.waiting = true;
+      result.cycles = 1;
+      csrs_.AddCycles(1);  // the clock keeps running while parked
+      return result;
+    }
+  }
+
+  // Fetch.
+  if (!IsAligned(pc_, 4)) {
+    return TakeTrap(CauseValue(ExceptionCause::kInstrAddrMisaligned), pc_);
+  }
+  const AccessOutcome fetch = Translate(pc_, 4, AccessType::kFetch, priv_, virt_);
+  if (!fetch.ok) {
+    return TakeTrap(CauseValue(fetch.cause), pc_);
+  }
+  uint64_t word = 0;
+  if (!bus_->Read(fetch.paddr, 4, &word)) {
+    return TakeTrap(CauseValue(ExceptionCause::kInstrAccessFault), pc_);
+  }
+
+  const DecodedInstr instr = Decode(static_cast<uint32_t>(word));
+  StepResult result = Execute(instr);
+  result.cycles += fetch.extra_cycles;
+  if (!result.trapped) {
+    csrs_.AddInstret(1);
+  }
+  csrs_.AddCycles(result.cycles);
+  return result;
+}
+
+StepResult Hart::Execute(const DecodedInstr& d) {
+  const uint64_t rs1 = gpr_[d.rs1];
+  const uint64_t rs2 = gpr_[d.rs2];
+  const uint64_t next = pc_ + 4;
+  const uint64_t base_cost = cost_->instr_base;
+
+  switch (d.op) {
+    case Op::kInvalid:
+      return IllegalInstr(d);
+    case Op::kLui:
+      set_gpr(d.rd, static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kAuipc:
+      set_gpr(d.rd, pc_ + static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kJal:
+      set_gpr(d.rd, next);
+      return Retire(pc_ + static_cast<uint64_t>(d.imm), base_cost);
+    case Op::kJalr: {
+      const uint64_t target = (rs1 + static_cast<uint64_t>(d.imm)) & ~uint64_t{1};
+      set_gpr(d.rd, next);
+      return Retire(target, base_cost);
+    }
+    case Op::kBeq:
+      return Retire(rs1 == rs2 ? pc_ + static_cast<uint64_t>(d.imm) : next, base_cost);
+    case Op::kBne:
+      return Retire(rs1 != rs2 ? pc_ + static_cast<uint64_t>(d.imm) : next, base_cost);
+    case Op::kBlt:
+      return Retire(static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2)
+                        ? pc_ + static_cast<uint64_t>(d.imm)
+                        : next,
+                    base_cost);
+    case Op::kBge:
+      return Retire(static_cast<int64_t>(rs1) >= static_cast<int64_t>(rs2)
+                        ? pc_ + static_cast<uint64_t>(d.imm)
+                        : next,
+                    base_cost);
+    case Op::kBltu:
+      return Retire(rs1 < rs2 ? pc_ + static_cast<uint64_t>(d.imm) : next, base_cost);
+    case Op::kBgeu:
+      return Retire(rs1 >= rs2 ? pc_ + static_cast<uint64_t>(d.imm) : next, base_cost);
+
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLd:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+      return ExecuteLoadStore(d);
+
+    case Op::kAddi:
+      set_gpr(d.rd, rs1 + static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kSlti:
+      set_gpr(d.rd, static_cast<int64_t>(rs1) < d.imm ? 1 : 0);
+      return Retire(next, base_cost);
+    case Op::kSltiu:
+      set_gpr(d.rd, rs1 < static_cast<uint64_t>(d.imm) ? 1 : 0);
+      return Retire(next, base_cost);
+    case Op::kXori:
+      set_gpr(d.rd, rs1 ^ static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kOri:
+      set_gpr(d.rd, rs1 | static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kAndi:
+      set_gpr(d.rd, rs1 & static_cast<uint64_t>(d.imm));
+      return Retire(next, base_cost);
+    case Op::kSlli:
+      set_gpr(d.rd, rs1 << (d.imm & 63));
+      return Retire(next, base_cost);
+    case Op::kSrli:
+      set_gpr(d.rd, rs1 >> (d.imm & 63));
+      return Retire(next, base_cost);
+    case Op::kSrai:
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (d.imm & 63)));
+      return Retire(next, base_cost);
+
+    case Op::kAdd:
+      set_gpr(d.rd, rs1 + rs2);
+      return Retire(next, base_cost);
+    case Op::kSub:
+      set_gpr(d.rd, rs1 - rs2);
+      return Retire(next, base_cost);
+    case Op::kSll:
+      set_gpr(d.rd, rs1 << (rs2 & 63));
+      return Retire(next, base_cost);
+    case Op::kSlt:
+      set_gpr(d.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
+      return Retire(next, base_cost);
+    case Op::kSltu:
+      set_gpr(d.rd, rs1 < rs2 ? 1 : 0);
+      return Retire(next, base_cost);
+    case Op::kXor:
+      set_gpr(d.rd, rs1 ^ rs2);
+      return Retire(next, base_cost);
+    case Op::kSrl:
+      set_gpr(d.rd, rs1 >> (rs2 & 63));
+      return Retire(next, base_cost);
+    case Op::kSra:
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
+      return Retire(next, base_cost);
+    case Op::kOr:
+      set_gpr(d.rd, rs1 | rs2);
+      return Retire(next, base_cost);
+    case Op::kAnd:
+      set_gpr(d.rd, rs1 & rs2);
+      return Retire(next, base_cost);
+
+    case Op::kAddiw:
+      set_gpr(d.rd, SignExtend((rs1 + static_cast<uint64_t>(d.imm)) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost);
+    case Op::kSlliw:
+      set_gpr(d.rd, SignExtend((rs1 << (d.imm & 31)) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost);
+    case Op::kSrliw:
+      set_gpr(d.rd, SignExtend((rs1 & 0xFFFFFFFF) >> (d.imm & 31), 32));
+      return Retire(next, base_cost);
+    case Op::kSraiw:
+      set_gpr(d.rd, static_cast<uint64_t>(
+                        static_cast<int64_t>(static_cast<int32_t>(rs1)) >> (d.imm & 31)));
+      return Retire(next, base_cost);
+    case Op::kAddw:
+      set_gpr(d.rd, SignExtend((rs1 + rs2) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost);
+    case Op::kSubw:
+      set_gpr(d.rd, SignExtend((rs1 - rs2) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost);
+    case Op::kSllw:
+      set_gpr(d.rd, SignExtend((rs1 << (rs2 & 31)) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost);
+    case Op::kSrlw:
+      set_gpr(d.rd, SignExtend((rs1 & 0xFFFFFFFF) >> (rs2 & 31), 32));
+      return Retire(next, base_cost);
+    case Op::kSraw:
+      set_gpr(d.rd, static_cast<uint64_t>(
+                        static_cast<int64_t>(static_cast<int32_t>(rs1)) >> (rs2 & 31)));
+      return Retire(next, base_cost);
+
+    case Op::kMul:
+      set_gpr(d.rd, rs1 * rs2);
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    case Op::kMulh: {
+      const __int128 a = static_cast<int64_t>(rs1);
+      const __int128 b = static_cast<int64_t>(rs2);
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<unsigned __int128>(a * b) >> 64));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kMulhsu: {
+      const __int128 a = static_cast<int64_t>(rs1);
+      const __int128 b = static_cast<__int128>(rs2);
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<unsigned __int128>(a * b) >> 64));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kMulhu: {
+      const unsigned __int128 a = rs1;
+      const unsigned __int128 b = rs2;
+      set_gpr(d.rd, static_cast<uint64_t>((a * b) >> 64));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kDiv: {
+      const int64_t a = static_cast<int64_t>(rs1);
+      const int64_t b = static_cast<int64_t>(rs2);
+      uint64_t q;
+      if (b == 0) {
+        q = ~uint64_t{0};
+      } else if (a == INT64_MIN && b == -1) {
+        q = static_cast<uint64_t>(a);
+      } else {
+        q = static_cast<uint64_t>(a / b);
+      }
+      set_gpr(d.rd, q);
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kDivu:
+      set_gpr(d.rd, rs2 == 0 ? ~uint64_t{0} : rs1 / rs2);
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    case Op::kRem: {
+      const int64_t a = static_cast<int64_t>(rs1);
+      const int64_t b = static_cast<int64_t>(rs2);
+      uint64_t r;
+      if (b == 0) {
+        r = rs1;
+      } else if (a == INT64_MIN && b == -1) {
+        r = 0;
+      } else {
+        r = static_cast<uint64_t>(a % b);
+      }
+      set_gpr(d.rd, r);
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kRemu:
+      set_gpr(d.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    case Op::kMulw:
+      set_gpr(d.rd, SignExtend((rs1 * rs2) & 0xFFFFFFFF, 32));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    case Op::kDivw: {
+      const int32_t a = static_cast<int32_t>(rs1);
+      const int32_t b = static_cast<int32_t>(rs2);
+      int32_t q;
+      if (b == 0) {
+        q = -1;
+      } else if (a == INT32_MIN && b == -1) {
+        q = a;
+      } else {
+        q = a / b;
+      }
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(q)));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kDivuw: {
+      const uint32_t a = static_cast<uint32_t>(rs1);
+      const uint32_t b = static_cast<uint32_t>(rs2);
+      const uint32_t q = b == 0 ? ~uint32_t{0} : a / b;
+      set_gpr(d.rd, SignExtend(q, 32));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kRemw: {
+      const int32_t a = static_cast<int32_t>(rs1);
+      const int32_t b = static_cast<int32_t>(rs2);
+      int32_t r;
+      if (b == 0) {
+        r = a;
+      } else if (a == INT32_MIN && b == -1) {
+        r = 0;
+      } else {
+        r = a % b;
+      }
+      set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(r)));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+    case Op::kRemuw: {
+      const uint32_t a = static_cast<uint32_t>(rs1);
+      const uint32_t b = static_cast<uint32_t>(rs2);
+      const uint32_t r = b == 0 ? a : a % b;
+      set_gpr(d.rd, SignExtend(r, 32));
+      return Retire(next, base_cost + cost_->instr_muldiv);
+    }
+
+    case Op::kFence:
+      return Retire(next, base_cost);
+    case Op::kFenceI:
+      return Retire(next, base_cost + cost_->tlb_flush / 4);
+
+    case Op::kEcall: {
+      ExceptionCause cause = ExceptionCause::kEcallFromU;
+      if (priv_ == PrivMode::kMachine) {
+        cause = ExceptionCause::kEcallFromM;
+      } else if (priv_ == PrivMode::kSupervisor) {
+        cause = virt_ ? ExceptionCause::kEcallFromVs : ExceptionCause::kEcallFromS;
+      }
+      return TakeTrap(CauseValue(cause), 0);
+    }
+    case Op::kEbreak:
+      return TakeTrap(CauseValue(ExceptionCause::kBreakpoint), pc_);
+
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      return ExecuteCsrOp(d);
+
+    case Op::kSret:
+      return ExecuteSret(d);
+    case Op::kMret:
+      return ExecuteMret(d);
+    case Op::kWfi:
+      return ExecuteWfi(d);
+    case Op::kSfenceVma: {
+      if (priv_ == PrivMode::kUser) {
+        return IllegalInstr(d);
+      }
+      if (priv_ == PrivMode::kSupervisor && !virt_ &&
+          Bit(csrs_.mstatus(), MstatusBits::kTvm) != 0) {
+        return IllegalInstr(d);
+      }
+      return Retire(next, base_cost + cost_->tlb_flush);
+    }
+    case Op::kHfenceVvma:
+    case Op::kHfenceGvma: {
+      if (!csrs_.config().has_h_ext || priv_ == PrivMode::kUser || virt_) {
+        return IllegalInstr(d);
+      }
+      return Retire(next, base_cost + cost_->tlb_flush);
+    }
+
+    default:
+      return ExecuteAmo(d);
+  }
+}
+
+StepResult Hart::ExecuteLoadStore(const DecodedInstr& d) {
+  const uint64_t vaddr = gpr_[d.rs1] + static_cast<uint64_t>(d.imm);
+  const unsigned size = AccessSizeOf(d.op);
+  const uint64_t cost = cost_->instr_base + cost_->instr_mem;
+
+  if (IsStoreOp(d.op)) {
+    if (!csrs_.config().hw_misaligned && !IsAligned(vaddr, size)) {
+      return TakeTrap(CauseValue(ExceptionCause::kStoreAddrMisaligned), vaddr);
+    }
+    const AccessOutcome out = Translate(vaddr, size, AccessType::kStore, DataPriv(), DataVirt());
+    if (!out.ok) {
+      return TakeTrap(CauseValue(out.cause), vaddr);
+    }
+    if (!bus_->Write(out.paddr, size, gpr_[d.rs2])) {
+      return TakeTrap(CauseValue(ExceptionCause::kStoreAccessFault), vaddr);
+    }
+    // A store to the reserved address clears the reservation.
+    if (reservation_ && AlignDown(*reservation_, 8) == AlignDown(out.paddr, 8)) {
+      reservation_.reset();
+    }
+    return Retire(pc_ + 4, cost + out.extra_cycles);
+  }
+
+  if (!csrs_.config().hw_misaligned && !IsAligned(vaddr, size)) {
+    return TakeTrap(CauseValue(ExceptionCause::kLoadAddrMisaligned), vaddr);
+  }
+  const AccessOutcome out = Translate(vaddr, size, AccessType::kLoad, DataPriv(), DataVirt());
+  if (!out.ok) {
+    return TakeTrap(CauseValue(out.cause), vaddr);
+  }
+  uint64_t value = 0;
+  if (!bus_->Read(out.paddr, size, &value)) {
+    return TakeTrap(CauseValue(ExceptionCause::kLoadAccessFault), vaddr);
+  }
+  switch (d.op) {
+    case Op::kLb:
+      value = SignExtend(value, 8);
+      break;
+    case Op::kLh:
+      value = SignExtend(value, 16);
+      break;
+    case Op::kLw:
+      value = SignExtend(value, 32);
+      break;
+    default:
+      break;  // unsigned loads and ld are already zero-extended
+  }
+  set_gpr(d.rd, value);
+  return Retire(pc_ + 4, cost + out.extra_cycles);
+}
+
+StepResult Hart::ExecuteAmo(const DecodedInstr& d) {
+  const bool is64 = d.op >= Op::kLrD;
+  const unsigned size = is64 ? 8 : 4;
+  const uint64_t vaddr = gpr_[d.rs1];
+  const uint64_t cost = cost_->instr_base + 2 * cost_->instr_mem;
+
+  if (!IsAligned(vaddr, size)) {
+    // AMOs never get misaligned emulation; they fault regardless of hw_misaligned.
+    return TakeTrap(CauseValue(d.op == Op::kLrW || d.op == Op::kLrD
+                                   ? ExceptionCause::kLoadAddrMisaligned
+                                   : ExceptionCause::kStoreAddrMisaligned),
+                    vaddr);
+  }
+
+  if (d.op == Op::kLrW || d.op == Op::kLrD) {
+    const AccessOutcome out = Translate(vaddr, size, AccessType::kLoad, DataPriv(), DataVirt());
+    if (!out.ok) {
+      return TakeTrap(CauseValue(out.cause), vaddr);
+    }
+    uint64_t value = 0;
+    if (!bus_->Read(out.paddr, size, &value)) {
+      return TakeTrap(CauseValue(ExceptionCause::kLoadAccessFault), vaddr);
+    }
+    set_gpr(d.rd, is64 ? value : SignExtend(value, 32));
+    reservation_ = out.paddr;
+    return Retire(pc_ + 4, cost + out.extra_cycles);
+  }
+
+  const AccessOutcome out = Translate(vaddr, size, AccessType::kStore, DataPriv(), DataVirt());
+  if (!out.ok) {
+    return TakeTrap(CauseValue(out.cause), vaddr);
+  }
+
+  if (d.op == Op::kScW || d.op == Op::kScD) {
+    if (reservation_ && *reservation_ == out.paddr) {
+      if (!bus_->Write(out.paddr, size, gpr_[d.rs2])) {
+        return TakeTrap(CauseValue(ExceptionCause::kStoreAccessFault), vaddr);
+      }
+      set_gpr(d.rd, 0);
+    } else {
+      set_gpr(d.rd, 1);
+    }
+    reservation_.reset();
+    return Retire(pc_ + 4, cost + out.extra_cycles);
+  }
+
+  uint64_t old = 0;
+  if (!bus_->Read(out.paddr, size, &old)) {
+    return TakeTrap(CauseValue(ExceptionCause::kLoadAccessFault), vaddr);
+  }
+  const uint64_t old_val = is64 ? old : SignExtend(old, 32);
+  const uint64_t rhs = is64 ? gpr_[d.rs2] : SignExtend(gpr_[d.rs2] & 0xFFFFFFFF, 32);
+  uint64_t result = 0;
+  switch (d.op) {
+    case Op::kAmoswapW:
+    case Op::kAmoswapD:
+      result = rhs;
+      break;
+    case Op::kAmoaddW:
+    case Op::kAmoaddD:
+      result = old_val + rhs;
+      break;
+    case Op::kAmoxorW:
+    case Op::kAmoxorD:
+      result = old_val ^ rhs;
+      break;
+    case Op::kAmoandW:
+    case Op::kAmoandD:
+      result = old_val & rhs;
+      break;
+    case Op::kAmoorW:
+    case Op::kAmoorD:
+      result = old_val | rhs;
+      break;
+    case Op::kAmominW:
+    case Op::kAmominD:
+      result = static_cast<int64_t>(old_val) < static_cast<int64_t>(rhs) ? old_val : rhs;
+      break;
+    case Op::kAmomaxW:
+    case Op::kAmomaxD:
+      result = static_cast<int64_t>(old_val) > static_cast<int64_t>(rhs) ? old_val : rhs;
+      break;
+    case Op::kAmominuW:
+    case Op::kAmominuD: {
+      const uint64_t a = is64 ? old_val : old_val & 0xFFFFFFFF;
+      const uint64_t b = is64 ? rhs : rhs & 0xFFFFFFFF;
+      result = a < b ? old_val : rhs;
+      break;
+    }
+    case Op::kAmomaxuW:
+    case Op::kAmomaxuD: {
+      const uint64_t a = is64 ? old_val : old_val & 0xFFFFFFFF;
+      const uint64_t b = is64 ? rhs : rhs & 0xFFFFFFFF;
+      result = a > b ? old_val : rhs;
+      break;
+    }
+    default:
+      return IllegalInstr(d);
+  }
+  if (!bus_->Write(out.paddr, size, result)) {
+    return TakeTrap(CauseValue(ExceptionCause::kStoreAccessFault), vaddr);
+  }
+  set_gpr(d.rd, old_val);
+  return Retire(pc_ + 4, cost + out.extra_cycles);
+}
+
+StepResult Hart::ExecuteCsrOp(const DecodedInstr& d) {
+  const bool is_imm = d.op == Op::kCsrrwi || d.op == Op::kCsrrsi || d.op == Op::kCsrrci;
+  const uint64_t operand = is_imm ? d.zimm : gpr_[d.rs1];
+  const bool is_write_op = d.op == Op::kCsrrw || d.op == Op::kCsrrwi;
+  const bool write_needed = is_write_op || d.rs1 != 0 || (is_imm && d.zimm != 0);
+  const bool read_needed = !is_write_op || d.rd != 0;
+
+  // The `time` CSR (and cycle/instret in some configs) requires the time source; reads
+  // of an absent time CSR raise illegal instruction so firmware can emulate them —
+  // this is one of the paper's five dominant trap causes (§3.4).
+  uint64_t old_value = 0;
+  if (read_needed || !is_write_op) {
+    if (!csrs_.ReadCsr(d.csr, priv_, virt_, &old_value)) {
+      return IllegalInstr(d);
+    }
+  }
+  if (write_needed) {
+    uint64_t new_value = operand;
+    if (d.op == Op::kCsrrs || d.op == Op::kCsrrsi) {
+      new_value = old_value | operand;
+    } else if (d.op == Op::kCsrrc || d.op == Op::kCsrrci) {
+      new_value = old_value & ~operand;
+    }
+    if (!csrs_.WriteCsr(d.csr, priv_, virt_, new_value)) {
+      return IllegalInstr(d);
+    }
+  } else {
+    // Read-only access still requires the CSR to be readable (checked above).
+  }
+  set_gpr(d.rd, old_value);
+  return Retire(pc_ + 4, cost_->instr_base + cost_->hal_csr_access);
+}
+
+StepResult Hart::ExecuteMret(const DecodedInstr& d) {
+  if (priv_ != PrivMode::kMachine) {
+    return IllegalInstr(d);
+  }
+  uint64_t mstatus = csrs_.mstatus();
+  const uint64_t mpp = ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo);
+  const PrivMode target = static_cast<PrivMode>(mpp);
+  mstatus = SetBit(mstatus, MstatusBits::kMie, Bit(mstatus, MstatusBits::kMpie));
+  mstatus = SetBit(mstatus, MstatusBits::kMpie, 1);
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo,
+                       static_cast<uint64_t>(PrivMode::kUser));
+  bool new_virt = false;
+  if (csrs_.config().has_h_ext && target != PrivMode::kMachine) {
+    new_virt = Bit(mstatus, MstatusBits::kMpv) != 0;
+  }
+  mstatus = SetBit(mstatus, MstatusBits::kMpv, 0);
+  if (target != PrivMode::kMachine) {
+    mstatus = SetBit(mstatus, MstatusBits::kMprv, 0);
+  }
+  csrs_.set_mstatus(mstatus);
+  priv_ = target;
+  virt_ = new_virt;
+  return Retire(csrs_.mepc(), cost_->trap_entry);
+}
+
+StepResult Hart::ExecuteSret(const DecodedInstr& d) {
+  if (priv_ == PrivMode::kUser) {
+    return IllegalInstr(d);
+  }
+  if (priv_ == PrivMode::kSupervisor && !virt_ &&
+      Bit(csrs_.mstatus(), MstatusBits::kTsr) != 0) {
+    return IllegalInstr(d);
+  }
+  if (virt_) {
+    if (Bit(csrs_.hstatus(), HstatusBits::kVtsr) != 0) {
+      return IllegalInstr(d);
+    }
+    // sret inside a virtualized supervisor uses the vs* bank.
+    uint64_t vsstatus = csrs_.Get(kCsrVsstatus);
+    const bool spp = Bit(vsstatus, MstatusBits::kSpp) != 0;
+    vsstatus = SetBit(vsstatus, MstatusBits::kSie, Bit(vsstatus, MstatusBits::kSpie));
+    vsstatus = SetBit(vsstatus, MstatusBits::kSpie, 1);
+    vsstatus = SetBit(vsstatus, MstatusBits::kSpp, 0);
+    csrs_.Set(kCsrVsstatus, vsstatus);
+    priv_ = spp ? PrivMode::kSupervisor : PrivMode::kUser;
+    return Retire(csrs_.Get(kCsrVsepc), cost_->trap_entry);
+  }
+  uint64_t mstatus = csrs_.mstatus();
+  const bool spp = Bit(mstatus, MstatusBits::kSpp) != 0;
+  mstatus = SetBit(mstatus, MstatusBits::kSie, Bit(mstatus, MstatusBits::kSpie));
+  mstatus = SetBit(mstatus, MstatusBits::kSpie, 1);
+  mstatus = SetBit(mstatus, MstatusBits::kSpp, 0);
+  const PrivMode target = spp ? PrivMode::kSupervisor : PrivMode::kUser;
+  if (target != PrivMode::kMachine) {
+    mstatus = SetBit(mstatus, MstatusBits::kMprv, 0);
+  }
+  csrs_.set_mstatus(mstatus);
+  bool new_virt = false;
+  if (csrs_.config().has_h_ext) {
+    uint64_t hstatus = csrs_.Get(kCsrHstatus);
+    new_virt = Bit(hstatus, HstatusBits::kSpv) != 0;
+    hstatus = SetBit(hstatus, HstatusBits::kSpv, 0);
+    csrs_.Set(kCsrHstatus, hstatus);
+  }
+  priv_ = target;
+  virt_ = new_virt;
+  return Retire(csrs_.sepc(), cost_->trap_entry);
+}
+
+StepResult Hart::ExecuteWfi(const DecodedInstr& d) {
+  if (priv_ == PrivMode::kUser) {
+    return IllegalInstr(d);  // with S-mode implemented, WFI is not available in U-mode
+  }
+  if (priv_ == PrivMode::kSupervisor && !virt_ &&
+      Bit(csrs_.mstatus(), MstatusBits::kTw) != 0) {
+    return IllegalInstr(d);
+  }
+  if (virt_ && Bit(csrs_.hstatus(), HstatusBits::kVtw) != 0) {
+    return IllegalInstr(d);
+  }
+  waiting_ = true;
+  return Retire(pc_ + 4, cost_->instr_base);
+}
+
+}  // namespace vfm

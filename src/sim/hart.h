@@ -1,0 +1,141 @@
+// One simulated RV64 hart: interpreter, trap logic, and interrupt selection. The
+// Machine (src/sim/machine.h) owns harts and drives them; an optional M-mode owner
+// hook lets native C++ code (the monitor) play the role of M-mode software.
+
+#ifndef SRC_SIM_HART_H_
+#define SRC_SIM_HART_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/instr.h"
+#include "src/isa/priv.h"
+#include "src/mem/bus.h"
+#include "src/sim/config.h"
+#include "src/sim/csr_file.h"
+#include "src/sim/mmu.h"
+
+namespace vfm {
+
+// Outcome of one hart tick, consumed by the machine for scheduling, statistics, and
+// the M-mode owner hook.
+struct StepResult {
+  bool executed = false;      // an instruction retired (or an interrupt was taken)
+  bool waiting = false;       // hart is parked in WFI
+  bool trapped = false;       // a trap (exception or interrupt) was taken this tick
+  uint64_t trap_cause = 0;    // mcause-style value, valid when trapped
+  PrivMode trap_target = PrivMode::kMachine;  // where the trap vectored
+  bool entered_mmode = false;  // trap landed in M-mode: invoke the owner if installed
+  uint64_t cycles = 0;         // cycles charged for this tick
+};
+
+class Hart {
+ public:
+  Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost);
+
+  unsigned index() const { return index_; }
+
+  // -- Architectural state access (also the monitor HAL's raw view). ---------------
+  uint64_t gpr(unsigned i) const { return gpr_[i]; }
+  void set_gpr(unsigned i, uint64_t value) {
+    if (i != 0) {
+      gpr_[i] = value;
+    }
+  }
+  uint64_t pc() const { return pc_; }
+  void set_pc(uint64_t pc) { pc_ = pc; }
+  PrivMode priv() const { return priv_; }
+  void set_priv(PrivMode priv) { priv_ = priv; }
+  bool virt() const { return virt_; }
+  void set_virt(bool virt) { virt_ = virt; }
+  bool waiting() const { return waiting_; }
+  void set_waiting(bool waiting) { waiting_ = waiting; }
+
+  CsrFile& csrs() { return csrs_; }
+  const CsrFile& csrs() const { return csrs_; }
+  Bus* bus() { return bus_; }
+
+  // -- Execution. -------------------------------------------------------------------
+  // Runs one tick: takes a pending enabled interrupt if any, else executes one
+  // instruction (or stays parked in WFI).
+  StepResult Tick();
+
+  // Takes a trap architecturally (updates status stacks, vectors the pc). Exposed for
+  // the machine (interrupt injection) and tests.
+  StepResult TakeTrap(uint64_t cause, uint64_t tval);
+
+  // Selects the highest-priority pending, enabled interrupt that may be taken in the
+  // current mode, or nullopt. Pure function of the CSR state.
+  std::optional<uint64_t> PendingInterrupt() const;
+
+  // Memory access with full translation + PMP, at an explicitly given effective
+  // privilege. Used by the interpreter and by the monitor's MPRV emulation path.
+  // On failure returns the fault cause; *fault_addr receives the faulting vaddr.
+  struct MemResult {
+    bool ok = true;
+    ExceptionCause cause = ExceptionCause::kLoadAccessFault;
+  };
+  MemResult ReadMemory(uint64_t vaddr, unsigned size, uint64_t* value);
+  MemResult WriteMemory(uint64_t vaddr, unsigned size, uint64_t value);
+
+  // Same, but at an explicitly chosen effective privilege and address space — used by
+  // the monitor's fast-path misaligned emulation and MPRV emulation (paper §4.2),
+  // where M-mode code accesses memory through the OS page tables. `satp_override`
+  // replaces the live satp; `pmp_override`, when non-null, replaces the physical PMP
+  // bank for the protection check (the monitor passes the *virtual* bank when
+  // emulating firmware MPRV accesses, since the reference machine would check the
+  // firmware's own PMP configuration).
+  MemResult ReadMemoryAs(PrivMode priv, uint64_t satp_override, uint64_t vaddr, unsigned size,
+                         uint64_t* value, const PmpBank* pmp_override = nullptr);
+  MemResult WriteMemoryAs(PrivMode priv, uint64_t satp_override, uint64_t vaddr, unsigned size,
+                          uint64_t value, const PmpBank* pmp_override = nullptr);
+
+  uint64_t instret() const { return csrs_.minstret(); }
+  uint64_t cycles() const { return csrs_.mcycle(); }
+
+  // Total traps taken, by flavor (for Figure 3-style statistics).
+  uint64_t traps_taken() const { return traps_taken_; }
+
+  // Clears any load reservation (the monitor does this on world switches).
+  void ClearReservation() { reservation_.reset(); }
+
+ private:
+  struct AccessOutcome {
+    bool ok = false;
+    uint64_t paddr = 0;
+    ExceptionCause cause = ExceptionCause::kLoadAccessFault;
+    uint64_t extra_cycles = 0;
+  };
+
+  // Effective privilege for data accesses (honors mstatus.MPRV).
+  PrivMode DataPriv() const;
+  bool DataVirt() const;
+
+  AccessOutcome Translate(uint64_t vaddr, unsigned size, AccessType type, PrivMode priv,
+                          bool use_vsatp);
+  StepResult Execute(const DecodedInstr& instr);
+  StepResult ExecuteCsrOp(const DecodedInstr& instr);
+  StepResult ExecuteMret(const DecodedInstr& instr);
+  StepResult ExecuteSret(const DecodedInstr& instr);
+  StepResult ExecuteWfi(const DecodedInstr& instr);
+  StepResult ExecuteLoadStore(const DecodedInstr& instr);
+  StepResult ExecuteAmo(const DecodedInstr& instr);
+  StepResult IllegalInstr(const DecodedInstr& instr);
+  StepResult Retire(uint64_t next_pc, uint64_t cycles);
+
+  unsigned index_;
+  Bus* bus_;
+  const CostModel* cost_;
+  CsrFile csrs_;
+  uint64_t gpr_[32] = {};
+  uint64_t pc_ = 0;
+  PrivMode priv_ = PrivMode::kMachine;
+  bool virt_ = false;
+  bool waiting_ = false;
+  std::optional<uint64_t> reservation_;
+  uint64_t traps_taken_ = 0;
+};
+
+}  // namespace vfm
+
+#endif  // SRC_SIM_HART_H_

@@ -1,0 +1,136 @@
+#include "src/sim/machine.h"
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace vfm {
+
+bool Finisher::MmioRead(uint64_t offset, unsigned size, uint64_t* value) {
+  (void)offset;
+  (void)size;
+  *value = 0;
+  return true;
+}
+
+bool Finisher::MmioWrite(uint64_t offset, unsigned size, uint64_t value) {
+  if (offset != 0 || (size != 4 && size != 8)) {
+    return false;
+  }
+  const uint32_t code = static_cast<uint32_t>(value & 0xFFFF);
+  if (code == kFinishPass || code == kFinishFail) {
+    finished_ = true;
+    exit_code_ = static_cast<uint32_t>(value >> 16);
+    if (code == kFinishFail) {
+      exit_code_ = exit_code_ == 0 ? 1 : exit_code_;
+    }
+  }
+  return true;
+}
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  VFM_CHECK(config_.hart_count >= 1);
+  bus_.AddRam(config_.map.ram_base, config_.map.ram_size);
+
+  clint_ = std::make_unique<Clint>(config_.hart_count);
+  bus_.AddMmio(config_.map.clint_base, Clint::kSize, clint_.get());
+
+  plic_ = std::make_unique<Plic>(config_.hart_count);
+  bus_.AddMmio(config_.map.plic_base, Plic::kSize, plic_.get());
+
+  uart_ = std::make_unique<Uart>();
+  bus_.AddMmio(config_.map.uart_base, Uart::kSize, uart_.get());
+
+  finisher_ = std::make_unique<Finisher>();
+  bus_.AddMmio(config_.map.finisher_base, Finisher::kSize, finisher_.get());
+
+  if (config_.with_blockdev) {
+    blockdev_ = std::make_unique<BlockDev>(&bus_, plic_.get(), /*plic_source=*/2,
+                                           config_.blockdev_sectors,
+                                           config_.blockdev_latency_ticks,
+                                           config_.blockdev_ticks_per_sector);
+    bus_.AddMmio(config_.map.blockdev_base, BlockDev::kSize, blockdev_.get());
+  }
+
+  for (unsigned i = 0; i < config_.hart_count; ++i) {
+    harts_.push_back(std::make_unique<Hart>(i, &bus_, config_.isa, &config_.cost));
+    Clint* clint = clint_.get();
+    harts_.back()->csrs().set_time_source([clint] { return clint->mtime(); });
+    harts_.back()->set_pc(config_.map.ram_base);
+  }
+}
+
+bool Machine::LoadImage(uint64_t addr, const std::vector<uint8_t>& image) {
+  return bus_.WriteBytes(addr, image.data(), image.size());
+}
+
+void Machine::RefreshInterruptLines() {
+  for (unsigned i = 0; i < hart_count(); ++i) {
+    CsrFile& csrs = harts_[i]->csrs();
+    csrs.SetInterruptLine(InterruptCause::kMachineTimer, clint_->MtipPending(i));
+    csrs.SetInterruptLine(InterruptCause::kMachineSoftware, clint_->MsipPending(i));
+    csrs.SetInterruptLine(InterruptCause::kSupervisorExternal, plic_->SeipPending(i));
+  }
+}
+
+void Machine::StepAll() {
+  RefreshInterruptLines();
+  for (auto& hart : harts_) {
+    const StepResult result = hart->Tick();
+    if (result.trapped) {
+      if (trap_observer_) {
+        trap_observer_(*hart, result);
+      }
+      if (result.entered_mmode && owner_ != nullptr) {
+        owner_->OnMachineTrap(*hart);
+      }
+    }
+  }
+  // Advance the timebase from hart 0's clock.
+  const uint64_t now = harts_[0]->cycles();
+  const uint64_t ticks_due = now / config_.cost.mtime_tick_cycles;
+  if (ticks_due > clint_->mtime()) {
+    clint_->set_mtime(ticks_due);
+  }
+  if (blockdev_) {
+    blockdev_->Tick(clint_->mtime());
+  }
+}
+
+bool Machine::RunUntilFinished(uint64_t max_instructions) {
+  return RunUntil([] { return false; }, max_instructions);
+}
+
+bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions) {
+  const uint64_t start = total_instret();
+  uint64_t rounds = 0;
+  // Check the finisher and predicate every round; rounds are cheap (hart_count ticks).
+  while (!finisher_->finished()) {
+    if (predicate()) {
+      return true;
+    }
+    StepAll();
+    ++rounds;
+    // The round bound also terminates a machine where every hart is parked in WFI.
+    if (total_instret() - start >= max_instructions || rounds >= 4 * max_instructions) {
+      bool all_waiting = true;
+      for (const auto& hart : harts_) {
+        all_waiting = all_waiting && hart->waiting();
+      }
+      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                   static_cast<unsigned long long>(max_instructions),
+                   all_waiting ? "all harts idle" : "harts still running");
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Machine::total_instret() const {
+  uint64_t total = 0;
+  for (const auto& hart : harts_) {
+    total += hart->instret();
+  }
+  return total;
+}
+
+}  // namespace vfm

@@ -1,0 +1,141 @@
+// The simulated machine: harts, bus, CLINT, PLIC, UART, optional block device, a
+// test-finisher, and the M-mode owner hook through which the monitor takes ownership
+// of machine mode (paper §4.1 execution model: M-mode handlers run to completion with
+// interrupts disabled).
+
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/dev/blockdev.h"
+#include "src/dev/clint.h"
+#include "src/dev/plic.h"
+#include "src/dev/uart.h"
+#include "src/mem/bus.h"
+#include "src/sim/config.h"
+#include "src/sim/hart.h"
+
+namespace vfm {
+
+// Native C++ code that owns machine mode. When installed, a trap that vectors to
+// M-mode is delivered to the owner instead of executing guest code at mtvec. The owner
+// manipulates the hart through its architectural interface and must leave it in the
+// state an M-mode handler would (typically by performing an mret-equivalent).
+class MmodeOwner {
+ public:
+  virtual ~MmodeOwner() = default;
+  virtual void OnMachineTrap(Hart& hart) = 0;
+};
+
+// Physical memory map shared by the platform profiles.
+struct MemoryMap {
+  uint64_t ram_base = 0x8000'0000;
+  uint64_t ram_size = 128ull << 20;
+  uint64_t clint_base = 0x200'0000;
+  uint64_t plic_base = 0xC00'0000;
+  uint64_t uart_base = 0x1000'0000;
+  uint64_t blockdev_base = 0x1001'0000;
+  uint64_t finisher_base = 0x10'0000;
+};
+
+struct MachineConfig {
+  unsigned hart_count = 1;
+  HartIsaConfig isa;
+  CostModel cost;
+  MemoryMap map;
+  bool with_blockdev = false;
+  uint64_t blockdev_sectors = 16384;
+  uint64_t blockdev_latency_ticks = 20;
+  uint64_t blockdev_ticks_per_sector = 2;
+};
+
+// The SiFive-style test finisher: a store of kFinishPass/kFinishFail powers off the
+// machine. Used by kernels and firmware to terminate simulations.
+class Finisher : public MmioDevice {
+ public:
+  static constexpr uint64_t kSize = 0x1000;
+  static constexpr uint32_t kFinishPass = 0x5555;
+  static constexpr uint32_t kFinishFail = 0x3333;
+
+  const char* name() const override { return "finisher"; }
+  bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
+  bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+
+  bool finished() const { return finished_; }
+  uint32_t exit_code() const { return exit_code_; }
+
+ private:
+  bool finished_ = false;
+  uint32_t exit_code_ = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  Bus& bus() { return bus_; }
+  Clint& clint() { return *clint_; }
+  Plic& plic() { return *plic_; }
+  Uart& uart() { return *uart_; }
+  BlockDev* blockdev() { return blockdev_.get(); }
+  Finisher& finisher() { return *finisher_; }
+
+  unsigned hart_count() const { return static_cast<unsigned>(harts_.size()); }
+  Hart& hart(unsigned index) { return *harts_[index]; }
+  const Hart& hart(unsigned index) const { return *harts_[index]; }
+
+  // Installs (or removes, with nullptr) the M-mode owner.
+  void SetMmodeOwner(MmodeOwner* owner) { owner_ = owner; }
+  MmodeOwner* mmode_owner() const { return owner_; }
+
+  // Loads a byte image into RAM.
+  bool LoadImage(uint64_t addr, const std::vector<uint8_t>& image);
+
+  // Runs one round: each hart ticks once, device lines are refreshed, mtime advances.
+  void StepAll();
+
+  // Runs until the finisher fires or `max_instructions` retire (across all harts).
+  // Returns true if the machine finished (as opposed to hitting the budget).
+  bool RunUntilFinished(uint64_t max_instructions);
+
+  // Runs until `predicate` returns true, the finisher fires, or the budget runs out.
+  bool RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions);
+
+  // Total cycles elapsed on hart 0's clock (the machine reference clock).
+  uint64_t cycles() const { return harts_[0]->cycles(); }
+  uint64_t total_instret() const;
+
+  // Observer invoked on every trap taken by any hart (statistics; Fig. 3).
+  using TrapObserver = std::function<void(const Hart&, const StepResult&)>;
+  void SetTrapObserver(TrapObserver observer) { trap_observer_ = std::move(observer); }
+
+  // Charges extra cycles to a hart's clock (the monitor HAL uses this to model the
+  // cost of monitor code, see DESIGN.md "Cycle model").
+  void ChargeCycles(unsigned hart_index, uint64_t cycles) {
+    harts_[hart_index]->csrs().AddCycles(cycles);
+  }
+
+ private:
+  void RefreshInterruptLines();
+
+  MachineConfig config_;
+  Bus bus_;
+  std::unique_ptr<Clint> clint_;
+  std::unique_ptr<Plic> plic_;
+  std::unique_ptr<Uart> uart_;
+  std::unique_ptr<BlockDev> blockdev_;
+  std::unique_ptr<Finisher> finisher_;
+  std::vector<std::unique_ptr<Hart>> harts_;
+  MmodeOwner* owner_ = nullptr;
+  TrapObserver trap_observer_;
+  uint64_t cycle_accumulator_ = 0;  // cycles since the last mtime tick
+};
+
+}  // namespace vfm
+
+#endif  // SRC_SIM_MACHINE_H_

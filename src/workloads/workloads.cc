@@ -1,0 +1,366 @@
+#include "src/workloads/workloads.h"
+
+#include "src/common/check.h"
+#include "src/isa/csr.h"
+#include "src/isa/sbi.h"
+#include "src/kernel/kernel.h"
+
+namespace vfm {
+
+namespace {
+
+// Emits one request's worth of work into the kernel. Uses s4 (request counter),
+// s5 (check accumulator), s6 (latency cursor), s7 (inner loop), s8 (timestamp).
+void EmitRequestLoop(KernelBuilder& kb, const WorkloadProfile& profile,
+                     const std::string& prefix, bool with_latency, bool with_io) {
+  Assembler& a = kb.assembler();
+  a.Li(s4, profile.requests);
+  a.Li(s5, 0);
+  if (with_latency) {
+    a.La(s6, "w_lat_buf");
+  }
+  a.Bind(prefix);
+
+  if (with_latency) {
+    kb.EmitTimeRead();
+    a.Mv(s8, a0);
+  }
+
+  // Compute phase: an inner loop of 16 dependent ALU operations.
+  const uint64_t inner_iters = profile.compute_per_request / 16;
+  if (inner_iters > 0) {
+    a.Li(s7, inner_iters);
+    a.Bind(prefix + "_inner");
+    for (unsigned i = 0; i < 16; ++i) {
+      switch (i % 4) {
+        case 0:
+          a.Addi(s5, s5, 0x35);
+          break;
+        case 1:
+          a.Xori(s5, s5, 0x5A);
+          break;
+        case 2:
+          a.Slli(t0, s5, 1);
+          a.Add(s5, s5, t0);
+          break;
+        default:
+          a.Srli(t0, s5, 7);
+          a.Xor(s5, s5, t0);
+          break;
+      }
+    }
+    a.Addi(s7, s7, -1);
+    a.Bnez(s7, prefix + "_inner");
+  }
+
+  // Value-size skew: every 16th request carries 4x the compute (large values /
+  // multi-key requests), which spreads the latency distribution.
+  if (profile.record_latency && inner_iters > 0) {
+    a.Andi(t0, s4, 15);
+    a.Bnez(t0, prefix + "_no_extra");
+    a.Li(s7, inner_iters * 4);
+    a.Bind(prefix + "_extra");
+    a.Addi(s5, s5, 0x35);
+    a.Xori(s5, s5, 0x5A);
+    a.Slli(t0, s5, 1);
+    a.Add(s5, s5, t0);
+    a.Addi(s7, s7, -1);
+    a.Bnez(s7, prefix + "_extra");
+    a.Bind(prefix + "_no_extra");
+  }
+
+  // Privileged-interaction phase: the trap mix.
+  for (unsigned i = 0; i < profile.time_reads_per_request; ++i) {
+    kb.EmitTimeRead();
+    a.Add(s5, s5, a0);
+  }
+  for (unsigned i = 0; i < profile.set_timers_per_request; ++i) {
+    kb.EmitSetTimerRelative(2000);
+  }
+  if (profile.ipis_per_request > 0 && profile.ipi_every > 1) {
+    a.Andi(t0, s4, profile.ipi_every - 1);
+    a.Bnez(t0, prefix + "_no_ipi");
+  }
+  for (unsigned i = 0; i < profile.ipis_per_request; ++i) {
+    kb.EmitSendIpi(1);  // self-IPI: the delivery round trip is the measured path
+  }
+  if (profile.ipis_per_request > 0 && profile.ipi_every > 1) {
+    a.Bind(prefix + "_no_ipi");
+  }
+  for (unsigned i = 0; i < profile.rfences_per_request; ++i) {
+    kb.EmitRemoteFence(1);
+  }
+  for (unsigned i = 0; i < profile.misaligned_per_request; ++i) {
+    kb.EmitMisalignedLoad();
+  }
+
+  if (with_io && profile.block_ios > 0) {
+    // One I/O every (requests / block_ios) requests would complicate the loop; the
+    // I/O phase instead runs separately after the request loop (below).
+  }
+
+  if (with_latency) {
+    kb.EmitTimeRead();
+    a.Sub(a0, a0, s8);
+    a.Sd(a0, s6, 0);
+    a.Addi(s6, s6, 8);
+  }
+
+  a.Addi(s4, s4, -1);
+  a.Bnez(s4, prefix);
+}
+
+}  // namespace
+
+Image BuildWorkloadKernel(const PlatformProfile& platform, const WorkloadProfile& profile) {
+  KernelConfig config;
+  config.base = platform.kernel_base;
+  config.hart_count = profile.harts;
+  config.enable_paging = profile.paging;
+  config.use_sstc = profile.use_sstc;
+  config.timer_interval = profile.timer_interval;
+  config.finisher_base = platform.machine.map.finisher_base;
+  config.plic_base = platform.machine.map.plic_base;
+  config.blockdev_base = platform.machine.map.blockdev_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+
+  if (profile.timer_interval != 0) {
+    kb.EmitSetTimerRelative(profile.timer_interval);
+  }
+  if (profile.harts > 1) {
+    kb.EmitStartSecondaries();
+  }
+
+  EmitRequestLoop(kb, profile, "w_req", profile.record_latency, /*with_io=*/true);
+
+  if (profile.block_ios > 0) {
+    kb.EmitBlockIo(profile.block_ios, profile.block_sectors, profile.block_write,
+                   platform.dma_buffer);
+  }
+
+  // Publish results: requests completed and the check value.
+  a.Li(a0, profile.requests);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+  a.Mv(a0, s5);
+  kb.EmitStoreResult(KernelSlots::kScratch + 1);
+
+  if (profile.harts > 1) {
+    kb.EmitWaitSlotAtLeast(KernelSlots::kJoinCounter, profile.harts - 1);
+  }
+  kb.EmitFinish(/*pass=*/true);
+
+  // Latency buffer (placed after the terminal finish; never executed).
+  if (profile.record_latency) {
+    a.Align(8);
+    a.Bind("w_lat_buf");
+    a.Zero(profile.requests * 8);
+  }
+
+  if (profile.harts > 1) {
+    kb.DefineSecondaryMain();
+    EmitRequestLoop(kb, profile, "w_req2", /*with_latency=*/false, /*with_io=*/false);
+    kb.EmitAtomicIncrement(KernelSlots::kJoinCounter);
+    kb.EmitSecondaryPark();
+  }
+  return kb.Finish();
+}
+
+WorkloadProfile CoreMarkProProfile() {
+  WorkloadProfile profile;
+  profile.name = "coremark-pro";
+  profile.requests = 50;
+  profile.compute_per_request = 100'000;  // CPU-bound: ~11k traps/s regime (§8.3.2)
+  profile.time_reads_per_request = 1;     // the benchmark's own timing calls
+  profile.harts = 4;
+  profile.timer_interval = 50'000;  // a slow scheduler tick
+  return profile;
+}
+
+WorkloadProfile IozoneProfile(bool write_phase) {
+  WorkloadProfile profile;
+  profile.name = write_phase ? "iozone-write" : "iozone-read";
+  profile.requests = 64;
+  profile.compute_per_request = 800;
+  profile.time_reads_per_request = 2;  // I/O timestamps
+  profile.block_ios = 64;
+  profile.block_sectors = 256;  // 128 KiB records, as in Figure 11
+  profile.block_write = write_phase;
+  profile.timer_interval = 20'000;
+  return profile;
+}
+
+WorkloadProfile MemcachedLatencyProfile() {
+  WorkloadProfile profile;
+  profile.name = "memcached-latency";
+  profile.requests = 2000;
+  profile.compute_per_request = 2'400;
+  profile.time_reads_per_request = 2;  // per-request timestamping
+  profile.ipis_per_request = 1;        // network-stack wakeup analog
+  profile.timer_interval = 3'000;      // ticks land inside some requests (tail)
+  profile.record_latency = true;
+  return profile;
+}
+
+WorkloadProfile RedisProfile() {
+  WorkloadProfile profile;
+  profile.name = "redis";
+  profile.requests = 900;
+  profile.compute_per_request = 12'000;
+  profile.time_reads_per_request = 3;
+  profile.ipis_per_request = 1;
+  profile.ipi_every = 8;  // network-stack wakeups are far rarer than timestamps
+  profile.timer_interval = 4'000;
+  return profile;
+}
+
+WorkloadProfile MemcachedProfile() {
+  WorkloadProfile profile;
+  profile.name = "memcached";
+  profile.requests = 500;
+  profile.compute_per_request = 6'000;
+  profile.time_reads_per_request = 3;
+  profile.ipis_per_request = 1;
+  profile.ipi_every = 4;
+  profile.harts = 4;
+  profile.timer_interval = 4'000;
+  return profile;
+}
+
+WorkloadProfile MysqlProfile() {
+  WorkloadProfile profile;
+  profile.name = "mysql";
+  profile.requests = 300;
+  profile.compute_per_request = 20'000;
+  profile.time_reads_per_request = 2;
+  profile.rfences_per_request = 1;
+  profile.misaligned_per_request = 1;
+  profile.block_ios = 16;
+  profile.block_sectors = 64;
+  profile.timer_interval = 8'000;
+  return profile;
+}
+
+WorkloadProfile GccProfile() {
+  WorkloadProfile profile;
+  profile.name = "gcc";
+  profile.requests = 80;
+  profile.compute_per_request = 100'000;  // compilation is compute-heavy
+  profile.misaligned_per_request = 1;  // unaligned accesses in the compiler's IR
+  profile.timer_interval = 50'000;
+  return profile;
+}
+
+WorkloadRun RunWorkload(PlatformKind platform_kind, DeployMode mode,
+                        const WorkloadProfile& profile, uint64_t max_instructions) {
+  PlatformProfile platform =
+      MakePlatform(platform_kind, profile.harts, profile.block_ios > 0);
+  Image kernel = BuildWorkloadKernel(platform, profile);
+  const uint64_t latency_buf =
+      profile.record_latency ? kernel.Symbol("w_lat_buf") : 0;
+
+  System system = BootSystem(platform, mode, std::move(kernel));
+
+  // Count monitor entries in native mode through the trap observer.
+  uint64_t native_mmode_traps = 0;
+  if (mode == DeployMode::kNative) {
+    system.machine->SetTrapObserver([&](const Hart& hart, const StepResult& step) {
+      // Count traps that reached M-mode from outside the firmware (direct execution):
+      // the firmware's own M-mode re-entries are not OS traps.
+      (void)hart;
+      if (step.entered_mmode) {
+        ++native_mmode_traps;
+      }
+    });
+  }
+
+  const bool finished = system.machine->RunUntilFinished(max_instructions);
+  VFM_CHECK_MSG(finished, "workload %s did not finish within budget", profile.name.c_str());
+  VFM_CHECK_MSG(system.machine->finisher().exit_code() == 0, "workload %s failed",
+                profile.name.c_str());
+
+  WorkloadRun run;
+  run.cycles = system.machine->cycles();
+  run.instructions = system.machine->total_instret();
+  run.requests = system.ReadResult(KernelSlots::kScratch);
+  run.seconds = static_cast<double>(run.cycles) /
+                (static_cast<double>(platform.machine.cost.freq_mhz) * 1e6);
+  run.requests_per_second = static_cast<double>(run.requests) / run.seconds;
+  if (system.monitor != nullptr) {
+    run.monitor_stats = system.monitor->stats();
+    run.os_traps = run.monitor_stats.os_traps;
+    run.world_switches = run.monitor_stats.world_switches;
+  } else {
+    run.os_traps = native_mmode_traps;
+    run.world_switches = 0;
+  }
+  run.traps_per_second = static_cast<double>(run.os_traps) / run.seconds;
+  run.world_switches_per_second = static_cast<double>(run.world_switches) / run.seconds;
+
+  if (profile.record_latency) {
+    run.latencies.reserve(profile.requests);
+    for (uint64_t i = 0; i < profile.requests; ++i) {
+      uint64_t ticks = 0;
+      system.machine->bus().Read(latency_buf + 8 * i, 8, &ticks);
+      run.latencies.push_back(ticks);
+    }
+  }
+  return run;
+}
+
+const std::vector<Rv8Kernel>& Rv8Suite() {
+  static const std::vector<Rv8Kernel>* suite = new std::vector<Rv8Kernel>{
+      {"aes", 12'000, 24, 0, 4},      {"dhrystone", 20'000, 16, 1, 2},
+      {"miniz", 10'000, 20, 0, 8},    {"norx", 12'000, 28, 0, 2},
+      {"primes", 16'000, 8, 4, 0},    {"qsort", 14'000, 12, 0, 6},
+      {"sha512", 10'000, 32, 0, 2},
+  };
+  return *suite;
+}
+
+Image BuildRv8Payload(uint64_t base, const Rv8Kernel& kernel) {
+  Assembler a(base);
+  a.Bind("_start");
+  // a0 arrives as the enclave id; keep a scratch buffer inside the payload region.
+  a.La(s1, "rv8_buf");
+  a.Li(s2, kernel.iterations);
+  a.Li(s3, 0x1234'5678);
+  a.Bind("rv8_loop");
+  for (unsigned i = 0; i < kernel.alu_ops; ++i) {
+    if (i % 3 == 0) {
+      a.Addi(s3, s3, 0x11);
+    } else if (i % 3 == 1) {
+      a.Xori(s3, s3, 0x2D);
+    } else {
+      a.Srli(t0, s3, 5);
+      a.Add(s3, s3, t0);
+    }
+  }
+  for (unsigned i = 0; i < kernel.mul_ops; ++i) {
+    a.Mul(s3, s3, s3);
+    a.Ori(s3, s3, 3);
+  }
+  for (unsigned i = 0; i < kernel.mem_ops; ++i) {
+    a.Sd(s3, s1, static_cast<int32_t>(8 * (i % 8)));
+    a.Ld(t0, s1, static_cast<int32_t>(8 * (i % 8)));
+    a.Add(s3, s3, t0);
+  }
+  a.Addi(s2, s2, -1);
+  a.Bnez(s2, "rv8_loop");
+  // Exit through the Keystone enclave ABI with the check value.
+  a.Mv(a0, s3);
+  a.Li(a6, 3006);  // KeystoneFunc::kExitEnclave
+  a.Li(a7, 0x08424B45);
+  a.Ecall();
+  a.Bind("rv8_hang");
+  a.J("rv8_hang");
+  a.Align(8);
+  a.Bind("rv8_buf");
+  a.Zero(64);
+
+  Result<Image> image = a.Finish();
+  VFM_CHECK_MSG(image.ok(), "rv8 payload assembly failed: %s", image.error().c_str());
+  return std::move(image).value();
+}
+
+}  // namespace vfm

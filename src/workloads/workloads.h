@@ -1,0 +1,93 @@
+// Workload generators for the evaluation benches. Each workload is a guest kernel
+// whose trap mix is calibrated to the per-application M-mode trap rates the paper
+// reports (§8.3: CPU ~11k traps/s, Redis ~272k, Memcached ~388k trap/s), so the
+// relative-performance figures reproduce with the same mechanism: overhead scales
+// with the frequency of traps to the (possibly virtualized) firmware.
+
+#ifndef SRC_WORKLOADS_WORKLOADS_H_
+#define SRC_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/asm/assembler.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+
+// A request-structured workload: every request executes `compute` dependent ALU
+// operations plus the listed privileged interactions.
+struct WorkloadProfile {
+  std::string name;
+  uint64_t requests = 1000;
+  unsigned compute_per_request = 1000;   // ALU ops per request
+  unsigned time_reads_per_request = 0;   // rdtime traps
+  unsigned set_timers_per_request = 0;   // sbi set_timer calls
+  unsigned ipis_per_request = 0;         // sbi send_ipi (self) calls
+  unsigned ipi_every = 1;                // issue the IPIs only every Nth request (pow2)
+  unsigned rfences_per_request = 0;      // sbi remote-fence calls
+  unsigned misaligned_per_request = 0;   // misaligned loads
+  unsigned harts = 1;                    // parallel harts running the same loop
+  bool paging = false;
+  bool use_sstc = false;                 // RVA23 path: stimecmp + native time reads
+  uint64_t timer_interval = 0;           // periodic tick (timebase ticks); 0 = none
+  uint64_t block_ios = 0;                // block-device commands per hart 0
+  uint64_t block_sectors = 256;          // sectors per command (128 KiB records)
+  bool block_write = false;
+  bool record_latency = false;           // per-request rdtime deltas into a buffer
+};
+
+// The application-profile catalog of §8.3.3 (Figure 13) plus the microbenchmarks.
+WorkloadProfile CoreMarkProProfile();     // CPU-bound, 4 harts (Figure 10)
+WorkloadProfile IozoneProfile(bool write_phase);  // disk I/O (Figure 11)
+WorkloadProfile MemcachedLatencyProfile();  // closed-loop latency (Figure 12)
+WorkloadProfile RedisProfile();
+WorkloadProfile MemcachedProfile();
+WorkloadProfile MysqlProfile();
+WorkloadProfile GccProfile();
+
+// Builds the guest kernel for `profile` on `platform`. Result slots:
+//   kScratch+0: total requests completed (hart 0)
+//   kScratch+1: accumulated check value (prevents dead-code concerns)
+// When record_latency is set, per-request latencies (timebase ticks) live at the
+// image symbol "w_lat_buf" (requests entries of 8 bytes).
+Image BuildWorkloadKernel(const PlatformProfile& platform, const WorkloadProfile& profile);
+
+// Outcome of one workload execution.
+struct WorkloadRun {
+  uint64_t cycles = 0;             // hart-0 cycles from boot to finisher
+  uint64_t instructions = 0;       // machine-wide retired instructions
+  uint64_t requests = 0;
+  double seconds = 0;              // simulated seconds (cycles / frequency)
+  double requests_per_second = 0;  // simulated throughput
+  uint64_t os_traps = 0;           // traps into M-mode during direct execution
+  double traps_per_second = 0;
+  uint64_t world_switches = 0;
+  double world_switches_per_second = 0;
+  std::vector<uint64_t> latencies;  // per-request ticks, when recorded
+  MonitorStats monitor_stats;       // zeroed for native runs
+};
+
+// Boots and runs `profile` on `platform_kind` under `mode` and collects metrics.
+// `max_instructions` bounds the run (defensive; sized generously by the benches).
+WorkloadRun RunWorkload(PlatformKind platform_kind, DeployMode mode,
+                        const WorkloadProfile& profile, uint64_t max_instructions);
+
+// RV8-suite analog for the Keystone figure (Figure 14): name + instruction mix.
+struct Rv8Kernel {
+  std::string name;
+  uint64_t iterations;
+  unsigned alu_ops;      // dependent ALU chain per iteration
+  unsigned mul_ops;      // multiplies per iteration
+  unsigned mem_ops;      // load/store pairs per iteration
+};
+const std::vector<Rv8Kernel>& Rv8Suite();
+
+// Builds a standalone U-mode payload image running `kernel` and exiting through the
+// Keystone enclave ABI (used both inside enclaves and for the native-U baseline).
+Image BuildRv8Payload(uint64_t base, const Rv8Kernel& kernel);
+
+}  // namespace vfm
+
+#endif  // SRC_WORKLOADS_WORKLOADS_H_

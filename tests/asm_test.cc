@@ -1,0 +1,238 @@
+// Unit tests for the mini-assembler: labels, fixups, data emission, and — most
+// importantly — executing the emitted code on a hart to verify semantics (the
+// assembler and the interpreter check each other).
+
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/isa/csr.h"
+#include "src/sim/machine.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint64_t kBase = 0x8000'0000;
+
+// Runs an image in M-mode until it executes ebreak; returns the hart for inspection.
+class AsmExecution {
+ public:
+  explicit AsmExecution(Image image) {
+    MachineConfig config;
+    config.hart_count = 1;
+    machine_ = std::make_unique<Machine>(config);
+    EXPECT_TRUE(machine_->LoadImage(image.base, image.bytes));
+    machine_->hart(0).set_pc(image.entry);
+    machine_->hart(0).set_priv(PrivMode::kMachine);
+    // ebreak raises a breakpoint trap; stop there by parking mtvec on the ebreak.
+    for (int i = 0; i < 100000; ++i) {
+      const uint64_t pc = machine_->hart(0).pc();
+      uint64_t word = 0;
+      machine_->bus().Read(pc, 4, &word);
+      if (Decode(static_cast<uint32_t>(word)).op == Op::kEbreak) {
+        reached_ebreak_ = true;
+        return;
+      }
+      machine_->StepAll();
+    }
+  }
+
+  bool reached_ebreak() const { return reached_ebreak_; }
+
+  uint64_t reg(Reg r) const {
+    EXPECT_TRUE(reached_ebreak_) << "program did not reach ebreak";
+    return machine_->hart(0).gpr(r);
+  }
+  Machine& machine() { return *machine_; }
+
+ private:
+  std::unique_ptr<Machine> machine_;
+  bool reached_ebreak_ = false;
+};
+
+Image Assemble(const std::function<void(Assembler&)>& body) {
+  Assembler a(kBase);
+  body(a);
+  a.Ebreak();
+  Result<Image> image = a.Finish();
+  EXPECT_TRUE(image.ok()) << (image.ok() ? std::string() : image.error());
+  return std::move(image).value();
+}
+
+class LiSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LiSweepTest, MaterializesExactValue) {
+  const uint64_t value = GetParam();
+  AsmExecution run(Assemble([&](Assembler& a) { a.Li(a0, value); }));
+  EXPECT_EQ(run.reg(a0), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constants, LiSweepTest,
+    ::testing::Values(0ull, 1ull, 0x7FFull, 0x800ull, 0xFFFull, 0x1000ull, 0x7FFFFFFFull,
+                      0x80000000ull, 0xFFFFFFFFull, 0x100000000ull, 0xDEADBEEFCAFEBABEull,
+                      0x7FFFFFFFFFFFFFFFull, 0x8000000000000000ull, ~uint64_t{0},
+                      0x0000800000000000ull, 0x00000000FFFFF000ull, 0x8000000080000000ull));
+
+TEST(AssemblerTest, LaResolvesForwardAndBackward) {
+  AsmExecution run(Assemble([](Assembler& a) {
+    a.La(a0, "data");       // forward reference
+    a.Bind("here");
+    a.La(a1, "here");       // backward reference
+    a.J("code_end");
+    a.Align(8);
+    a.Bind("data");
+    a.Word64(0x1122334455667788ull);
+    a.Bind("code_end");
+    a.Ld(a2, a0, 0);
+  }));
+  EXPECT_EQ(run.reg(a2), 0x1122334455667788ull);
+  EXPECT_EQ(run.reg(a1), kBase + 8);  // la emits 2 instructions before "here"
+}
+
+TEST(AssemblerTest, BranchesTakenAndNotTaken) {
+  AsmExecution run(Assemble([](Assembler& a) {
+    a.Li(a0, 5);
+    a.Li(a1, 7);
+    a.Li(a2, 0);
+    a.Blt(a0, a1, "taken");
+    a.Li(a2, 99);  // skipped
+    a.Bind("taken");
+    a.Addi(a2, a2, 1);
+    a.Bge(a0, a1, "not_taken");
+    a.Addi(a2, a2, 10);
+    a.Bind("not_taken");
+  }));
+  EXPECT_EQ(run.reg(a2), 11u);
+}
+
+TEST(AssemblerTest, CallAndRet) {
+  AsmExecution run(Assemble([](Assembler& a) {
+    a.Li(a0, 1);
+    a.Call("double_it");
+    a.Call("double_it");
+    a.J("done");
+    a.Bind("double_it");
+    a.Add(a0, a0, a0);
+    a.Ret();
+    a.Bind("done");
+  }));
+  EXPECT_EQ(run.reg(a0), 4u);
+}
+
+TEST(AssemblerTest, DataDirectives) {
+  Assembler a(kBase);
+  a.Word32(0xAABBCCDD);
+  a.Align(8);
+  a.Bind("d64");
+  a.Word64(0x1234567890ABCDEFull);
+  a.Asciz("hi");
+  a.Align(4);
+  a.Zero(12);
+  Image image = std::move(a.Finish()).value();
+  EXPECT_EQ(image.bytes[0], 0xDD);
+  EXPECT_EQ(image.bytes[3], 0xAA);
+  EXPECT_EQ(image.Symbol("d64"), kBase + 8);
+  EXPECT_EQ(image.bytes[8], 0xEF);
+  EXPECT_EQ(image.bytes[16], 'h');
+  EXPECT_EQ(image.bytes[18], 0);
+}
+
+TEST(AssemblerTest, AddrWordHoldsFinalAddress) {
+  Assembler a(kBase);
+  a.AddrWord("late");
+  a.Bind("late");
+  a.Nop();
+  Image image = std::move(a.Finish()).value();
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(image.bytes[i]) << (8 * i);
+  }
+  EXPECT_EQ(stored, image.Symbol("late"));
+}
+
+TEST(AssemblerTest, UndefinedLabelIsError) {
+  Assembler a(kBase);
+  a.J("nowhere");
+  const Result<Image> image = a.Finish();
+  EXPECT_FALSE(image.ok());
+  EXPECT_NE(image.error().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerTest, DuplicateLabelIsError) {
+  Assembler a(kBase);
+  a.Bind("twice");
+  a.Nop();
+  a.Bind("twice");
+  const Result<Image> image = a.Finish();
+  EXPECT_FALSE(image.ok());
+}
+
+TEST(AssemblerTest, EntryDefaultsToStartSymbol) {
+  Assembler a(kBase);
+  a.Nop();
+  a.Bind("_start");
+  a.Nop();
+  Image image = std::move(a.Finish()).value();
+  EXPECT_EQ(image.entry, kBase + 4);
+  Assembler b(kBase);
+  b.Nop();
+  Image no_start = std::move(b.Finish()).value();
+  EXPECT_EQ(no_start.entry, kBase);
+}
+
+TEST(AssemblerTest, SymbolOrFallback) {
+  Assembler a(kBase);
+  a.Bind("x");
+  a.Nop();
+  Image image = std::move(a.Finish()).value();
+  EXPECT_EQ(image.SymbolOr("x", 0), kBase);
+  EXPECT_EQ(image.SymbolOr("missing", 42), 42u);
+}
+
+TEST(AssemblerTest, ArithmeticSemantics) {
+  AsmExecution run(Assemble([](Assembler& a) {
+    a.Li(t0, 0xFFFFFFFFull);
+    a.Li(t1, 2);
+    a.Mul(a0, t0, t1);       // 0x1FFFFFFFE
+    a.Addiw(a1, t0, 1);      // 32-bit wrap: 0
+    a.Srai(a2, t0, 4);       // logical on positive
+    a.Li(t2, -100);
+    a.Div(a3, t2, t1);       // -50
+    a.Rem(a4, t2, t1);       // 0? -100 % 2 = 0
+    a.Divu(a5, t2, t1);      // huge
+  }));
+  EXPECT_EQ(run.reg(a0), 0x1FFFFFFFEull);
+  EXPECT_EQ(run.reg(a1), 0u);
+  EXPECT_EQ(run.reg(a2), 0xFFFFFFFull);
+  EXPECT_EQ(run.reg(a3), static_cast<uint64_t>(-50));
+  EXPECT_EQ(run.reg(a4), 0u);
+  EXPECT_EQ(run.reg(a5), (~uint64_t{0} - 99) / 2);
+}
+
+TEST(AssemblerTest, AmoAndReservation) {
+  AsmExecution run(Assemble([](Assembler& a) {
+    a.La(t0, "cell");
+    a.Li(t1, 5);
+    a.AmoaddD(a0, t1, t0);   // a0 = old (3), cell = 8
+    a.Ld(a1, t0, 0);
+    a.LrW(a2, t0);           // a2 = 8
+    a.Li(t2, 99);
+    a.ScW(a3, t2, t0);       // success: a3 = 0
+    a.Lw(a4, t0, 0);         // 99
+    a.ScW(a5, t2, t0);       // no reservation: a5 = 1
+    a.J("end");
+    a.Align(8);
+    a.Bind("cell");
+    a.Word64(3);
+    a.Bind("end");
+  }));
+  EXPECT_EQ(run.reg(a0), 3u);
+  EXPECT_EQ(run.reg(a1), 8u);
+  EXPECT_EQ(run.reg(a2), 8u);
+  EXPECT_EQ(run.reg(a3), 0u);
+  EXPECT_EQ(run.reg(a4), 99u);
+  EXPECT_EQ(run.reg(a5), 1u);
+}
+
+}  // namespace
+}  // namespace vfm

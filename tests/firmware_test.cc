@@ -1,0 +1,192 @@
+// Tests for the guest firmware images (src/firmware): both implementations pass their
+// functional suite natively AND virtualized — the paper's Q1 test discipline ("both
+// RustSBI and Zephyr pass their respective test suite while being virtualized").
+
+#include <gtest/gtest.h>
+
+#include "src/firmware/firmware.h"
+#include "src/isa/sbi.h"
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint64_t kBudget = 30'000'000;
+
+// The firmware functional suite, expressed as a kernel that exercises every SBI
+// service and records results.
+Image FirmwareSuiteKernel(const PlatformProfile& profile, bool multi_hart) {
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  config.hart_count = multi_hart ? 2 : 1;
+  config.timer_interval = 0;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+
+  // base: spec version.
+  a.Li(a7, SbiExt::kBase);
+  a.Li(a6, SbiFunc::kGetSpecVersion);
+  a.Ecall();
+  a.Mv(a0, a1);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+
+  // base: implementation id (distinguishes the two firmware).
+  a.Li(a7, SbiExt::kBase);
+  a.Li(a6, SbiFunc::kGetImplId);
+  a.Ecall();
+  a.Mv(a0, a1);
+  kb.EmitStoreResult(KernelSlots::kScratch + 1);
+
+  // time: set a timer and wait for the tick.
+  kb.EmitSetTimerRelative(50);
+  kb.EmitWaitSlotAtLeast(KernelSlots::kTimerTicks, 1);
+
+  // time read emulation.
+  kb.EmitTimeRead();
+  kb.EmitStoreResult(KernelSlots::kScratch + 2);
+
+  // ipi: self.
+  kb.EmitSendIpi(1);
+  kb.EmitWaitSlotAtLeast(KernelSlots::kIpisTaken, 1);
+
+  // console.
+  kb.EmitPrint("fw-suite\n");
+
+  if (multi_hart) {
+    kb.EmitStartSecondaries();
+    kb.EmitRemoteFence(0b10);
+  }
+  kb.EmitFinish(/*pass=*/true);
+  return kb.Finish();
+}
+
+struct SuiteResult {
+  uint64_t spec_version;
+  uint64_t impl_id;
+  uint64_t time_value;
+  std::string uart;
+  uint32_t exit_code;
+};
+
+SuiteResult RunSuite(FirmwareKind kind, DeployMode mode, bool multi_hart) {
+  PlatformProfile profile =
+      MakePlatform(PlatformKind::kVf2Sim, multi_hart ? 2 : 1, false);
+  System system =
+      BootSystem(profile, mode, FirmwareSuiteKernel(profile, multi_hart), kind);
+  EXPECT_TRUE(system.machine->RunUntilFinished(kBudget));
+  SuiteResult result;
+  result.spec_version = system.ReadResult(KernelSlots::kScratch);
+  result.impl_id = system.ReadResult(KernelSlots::kScratch + 1);
+  result.time_value = system.ReadResult(KernelSlots::kScratch + 2);
+  result.uart = system.machine->uart().output();
+  result.exit_code = system.machine->finisher().exit_code();
+  return result;
+}
+
+class FirmwareSuiteTest
+    : public ::testing::TestWithParam<std::tuple<FirmwareKind, DeployMode>> {};
+
+TEST_P(FirmwareSuiteTest, PassesNativeAndVirtualized) {
+  const auto [kind, mode] = GetParam();
+  const bool multi = kind == FirmwareKind::kOpenSbiSim;
+  const SuiteResult result = RunSuite(kind, mode, multi);
+  EXPECT_EQ(result.exit_code, 0u);
+  EXPECT_EQ(result.spec_version, 0x0200'0000u);
+  EXPECT_EQ(result.impl_id, kind == FirmwareKind::kOpenSbiSim ? 999u : 1000u);
+  EXPECT_GT(result.time_value, 0u);
+  EXPECT_NE(result.uart.find("fw-suite"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFirmwareAllModes, FirmwareSuiteTest,
+    ::testing::Combine(::testing::Values(FirmwareKind::kOpenSbiSim, FirmwareKind::kMiniSbi),
+                       ::testing::Values(DeployMode::kNative, DeployMode::kMiralis,
+                                         DeployMode::kMiralisNoOffload)));
+
+TEST(FirmwareImageTest, SymbolsAndSizes) {
+  FirmwareConfig config;
+  config.hart_count = 4;
+  const Image opensbi = BuildOpenSbiSim(config);
+  EXPECT_EQ(opensbi.entry, config.base);
+  EXPECT_NE(opensbi.symbols.count("fw_trap_vector"), 0u);
+  EXPECT_NE(opensbi.symbols.count("fw_frames"), 0u);
+  EXPECT_LT(opensbi.bytes.size(), uint64_t{1} << 20);
+  EXPECT_EQ(opensbi.Symbol("fw_trap_vector") % 4, 0u);
+
+  const Image mini = BuildMiniSbi(config);
+  EXPECT_LT(mini.bytes.size(), opensbi.bytes.size());  // genuinely smaller
+}
+
+TEST(FirmwareImageTest, IdenticalBinaryAcrossDeployments) {
+  // The core claim: the monitor virtualizes *unmodified* firmware. Building for the
+  // same configuration must yield byte-identical images regardless of deployment.
+  FirmwareConfig config;
+  const Image one = BuildOpenSbiSim(config);
+  const Image two = BuildOpenSbiSim(config);
+  EXPECT_EQ(one.bytes, two.bytes);
+}
+
+TEST(FirmwareTest, GetcharReadsHostInput) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+  a.Li(a7, SbiExt::kLegacyGetchar);
+  a.Li(a6, 0);
+  a.Ecall();
+  a.Mv(a0, a1);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+  kb.EmitFinish(/*pass=*/true);
+  System system = BootSystem(profile, DeployMode::kMiralis, kb.Finish());
+  system.machine->uart().PushInput("Z");
+  ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+  EXPECT_EQ(system.ReadResult(KernelSlots::kScratch), 'Z');
+}
+
+TEST(FirmwareTest, UnknownSbiExtensionReturnsNotSupported) {
+  for (DeployMode mode : {DeployMode::kNative, DeployMode::kMiralis}) {
+    SCOPED_TRACE(DeployModeName(mode));
+    PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+    KernelConfig config;
+    config.base = profile.kernel_base;
+    KernelBuilder kb(config);
+    Assembler& a = kb.assembler();
+    a.Li(a7, 0xDEAD);
+    a.Li(a6, 0);
+    a.Ecall();
+    kb.EmitStoreResult(KernelSlots::kScratch);
+    kb.EmitFinish(/*pass=*/true);
+    System system = BootSystem(profile, mode, kb.Finish());
+    ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+    EXPECT_EQ(static_cast<int64_t>(system.ReadResult(KernelSlots::kScratch)),
+              SbiError::kNotSupported);
+  }
+}
+
+TEST(FirmwareTest, MicroFirmwareProbesScaleLinearly) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  auto cycles_for = [&](unsigned probes) {
+    KernelConfig config;
+    config.base = profile.kernel_base;
+    KernelBuilder kb(config);
+    kb.EmitFinish(/*pass=*/true);
+    System system = BootSystem(profile, DeployMode::kMiralis, kb.Finish(),
+                               FirmwareKind::kMicro, nullptr, probes);
+    EXPECT_TRUE(system.machine->RunUntilFinished(kBudget));
+    return system.machine->cycles();
+  };
+  const uint64_t base = cycles_for(0);
+  const uint64_t with_100 = cycles_for(100);
+  const uint64_t with_200 = cycles_for(200);
+  const uint64_t per_op_100 = (with_100 - base) / 100;
+  const uint64_t per_op_200 = (with_200 - base) / 200;
+  EXPECT_GT(per_op_100, 0u);
+  // Linear within 5%: the emulation cost is a stable per-instruction constant.
+  EXPECT_NEAR(static_cast<double>(per_op_100), static_cast<double>(per_op_200),
+              0.05 * static_cast<double>(per_op_100));
+}
+
+}  // namespace
+}  // namespace vfm

@@ -1,0 +1,123 @@
+// Tests for the minios kernel builder (src/kernel) and its runtime services.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint64_t kBudget = 30'000'000;
+
+TEST(KernelBuilderTest, ImageShapeAndSymbols) {
+  KernelConfig config;
+  config.hart_count = 2;
+  KernelBuilder kb(config);
+  kb.EmitFinish(/*pass=*/true);
+  Image image = kb.Finish();
+  EXPECT_EQ(image.entry, config.base);
+  EXPECT_NE(image.symbols.count("k_trap"), 0u);
+  EXPECT_NE(image.symbols.count("k_secondary"), 0u);
+  EXPECT_NE(image.symbols.count("k_results"), 0u);
+  EXPECT_NE(image.symbols.count("k_stacks"), 0u);
+  EXPECT_EQ(KernelBuilder::ResultAddr(image, 0), image.Symbol("k_results"));
+  EXPECT_EQ(KernelBuilder::ResultAddr(image, 5), image.Symbol("k_results") + 40);
+}
+
+TEST(KernelBuilderTest, PagingBootWorksInAllModes) {
+  for (DeployMode mode :
+       {DeployMode::kNative, DeployMode::kMiralis, DeployMode::kMiralisNoOffload}) {
+    SCOPED_TRACE(DeployModeName(mode));
+    PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+    KernelConfig config;
+    config.base = profile.kernel_base;
+    config.enable_paging = true;
+    KernelBuilder kb(config);
+    kb.EmitPrint("paged\n");
+    kb.EmitTimeRead();
+    kb.EmitStoreResult(KernelSlots::kScratch);
+    kb.EmitFinish(/*pass=*/true);
+    System system = BootSystem(profile, mode, kb.Finish());
+    ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+    EXPECT_EQ(system.machine->finisher().exit_code(), 0u);
+    EXPECT_NE(system.machine->uart().output().find("paged"), std::string::npos);
+    // The kernel ran with Sv39 enabled.
+    EXPECT_EQ(system.machine->hart(0).csrs().Get(kCsrSatp) >> 60, 8u);
+  }
+}
+
+TEST(KernelBuilderTest, BlockIoCompletesViaInterrupts) {
+  for (DeployMode mode : {DeployMode::kNative, DeployMode::kMiralis}) {
+    SCOPED_TRACE(DeployModeName(mode));
+    PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, true);
+    KernelConfig config;
+    config.base = profile.kernel_base;
+    config.blockdev_base = profile.machine.map.blockdev_base;
+    config.plic_base = profile.machine.map.plic_base;
+    KernelBuilder kb(config);
+    kb.EmitBlockIo(/*count=*/4, /*sectors=*/8, /*write=*/true, profile.dma_buffer);
+    kb.EmitBlockIo(/*count=*/4, /*sectors=*/8, /*write=*/false, profile.dma_buffer);
+    kb.EmitFinish(/*pass=*/true);
+    System system = BootSystem(profile, mode, kb.Finish());
+    ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+    EXPECT_EQ(system.machine->finisher().exit_code(), 0u);
+    EXPECT_EQ(system.ReadResult(KernelSlots::kExtTaken), 8u);
+    EXPECT_EQ(system.machine->blockdev()->completed_commands(), 8u);
+  }
+}
+
+TEST(KernelBuilderTest, FinishFailSetsExitCode) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  kb.EmitFinish(/*pass=*/false);
+  System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+  ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+  EXPECT_NE(system.machine->finisher().exit_code(), 0u);
+}
+
+TEST(KernelBuilderTest, UnexpectedKernelFaultIsFatal) {
+  // A stray exception inside the kernel routes to k_fatal (finisher code != 0).
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+  a.Li(t0, 0x4100'0000);  // unmapped bus address
+  a.Ld(t1, t0, 0);
+  kb.EmitFinish(/*pass=*/true);
+  System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+  ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+  EXPECT_NE(system.machine->finisher().exit_code(), 0u);
+}
+
+TEST(KernelBuilderTest, SecondaryMainDefinedTwiceDies) {
+  KernelConfig config;
+  KernelBuilder kb(config);
+  kb.DefineSecondaryMain();
+  EXPECT_DEATH(kb.DefineSecondaryMain(), "defined twice");
+}
+
+TEST(KernelBuilderTest, ComputeLoopIsDeterministic) {
+  uint64_t checks[2];
+  for (int round = 0; round < 2; ++round) {
+    PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+    KernelConfig config;
+    config.base = profile.kernel_base;
+    KernelBuilder kb(config);
+    kb.EmitComputeLoop(1000, 16);
+    kb.assembler().Mv(a0, s3);
+    kb.EmitStoreResult(KernelSlots::kScratch);
+    kb.EmitFinish(/*pass=*/true);
+    System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+    EXPECT_TRUE(system.machine->RunUntilFinished(kBudget));
+    checks[round] = system.ReadResult(KernelSlots::kScratch);
+  }
+  EXPECT_EQ(checks[0], checks[1]);
+  EXPECT_NE(checks[0], 0u);
+}
+
+}  // namespace
+}  // namespace vfm

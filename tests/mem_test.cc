@@ -1,0 +1,143 @@
+// Unit tests for the physical bus: RAM routing, MMIO dispatch, bulk access.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bits.h"
+#include "src/mem/bus.h"
+
+namespace vfm {
+namespace {
+
+class RecordingDevice : public MmioDevice {
+ public:
+  const char* name() const override { return "recorder"; }
+  bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override {
+    last_read_offset = offset;
+    last_size = size;
+    *value = 0x1234;
+    return !reject;
+  }
+  bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override {
+    last_write_offset = offset;
+    last_size = size;
+    last_value = value;
+    return !reject;
+  }
+  uint64_t last_read_offset = 0;
+  uint64_t last_write_offset = 0;
+  unsigned last_size = 0;
+  uint64_t last_value = 0;
+  bool reject = false;
+};
+
+TEST(BusTest, RamReadWriteAllSizes) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  for (unsigned size : {1u, 2u, 4u, 8u}) {
+    const uint64_t pattern = 0xA1B2C3D4E5F60718ull & MaskLow(8 * size);
+    EXPECT_TRUE(bus.Write(0x8000'0100, size, pattern));
+    uint64_t value = 0;
+    EXPECT_TRUE(bus.Read(0x8000'0100, size, &value));
+    EXPECT_EQ(value, pattern);
+  }
+}
+
+TEST(BusTest, LittleEndianLayout) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  ASSERT_TRUE(bus.Write(0x8000'0000, 8, 0x0102030405060708ull));
+  uint64_t byte = 0;
+  ASSERT_TRUE(bus.Read(0x8000'0000, 1, &byte));
+  EXPECT_EQ(byte, 0x08u);
+  ASSERT_TRUE(bus.Read(0x8000'0007, 1, &byte));
+  EXPECT_EQ(byte, 0x01u);
+}
+
+TEST(BusTest, UnmappedFails) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  uint64_t value = 0;
+  EXPECT_FALSE(bus.Read(0x1000, 4, &value));
+  EXPECT_FALSE(bus.Write(0x9000'0000, 4, 1));
+}
+
+TEST(BusTest, CrossBoundaryFails) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  uint64_t value = 0;
+  EXPECT_FALSE(bus.Read(0x8000'0FFC, 8, &value));  // straddles the end of RAM
+  EXPECT_TRUE(bus.Read(0x8000'0FF8, 8, &value));
+}
+
+TEST(BusTest, MmioDispatchUsesOffsets) {
+  Bus bus;
+  RecordingDevice device;
+  bus.AddMmio(0x200'0000, 0x1000, &device);
+  uint64_t value = 0;
+  EXPECT_TRUE(bus.Read(0x200'0040, 4, &value));
+  EXPECT_EQ(device.last_read_offset, 0x40u);
+  EXPECT_EQ(value, 0x1234u);
+  EXPECT_TRUE(bus.Write(0x200'0088, 8, 77));
+  EXPECT_EQ(device.last_write_offset, 0x88u);
+  EXPECT_EQ(device.last_value, 77u);
+  EXPECT_EQ(device.last_size, 8u);
+}
+
+TEST(BusTest, MmioRejectionPropagates) {
+  Bus bus;
+  RecordingDevice device;
+  device.reject = true;
+  bus.AddMmio(0x200'0000, 0x1000, &device);
+  uint64_t value = 0;
+  EXPECT_FALSE(bus.Read(0x200'0000, 4, &value));
+  EXPECT_FALSE(bus.Write(0x200'0000, 4, 0));
+}
+
+TEST(BusTest, MmioBeyondWindowFails) {
+  Bus bus;
+  RecordingDevice device;
+  bus.AddMmio(0x200'0000, 0x100, &device);
+  uint64_t value = 0;
+  EXPECT_FALSE(bus.Read(0x200'00FC, 8, &value));  // crosses the window end
+}
+
+TEST(BusTest, BulkAccess) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  const uint8_t data[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  EXPECT_TRUE(bus.WriteBytes(0x8000'0800, data, sizeof(data)));
+  uint8_t readback[16] = {};
+  EXPECT_TRUE(bus.ReadBytes(0x8000'0800, readback, sizeof(readback)));
+  EXPECT_EQ(0, memcmp(data, readback, sizeof(data)));
+  // Bulk access never touches MMIO.
+  RecordingDevice device;
+  bus.AddMmio(0x200'0000, 0x1000, &device);
+  EXPECT_FALSE(bus.WriteBytes(0x200'0000, data, 4));
+}
+
+TEST(BusTest, IsRamAndFindMmio) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  RecordingDevice device;
+  bus.AddMmio(0x200'0000, 0x1000, &device);
+  EXPECT_TRUE(bus.IsRam(0x8000'0000, 8));
+  EXPECT_FALSE(bus.IsRam(0x8000'0FFF, 8));
+  EXPECT_FALSE(bus.IsRam(0x200'0000, 4));
+  ASSERT_NE(bus.FindMmio(0x200'0800), nullptr);
+  EXPECT_EQ(bus.FindMmio(0x200'0800)->device, &device);
+  EXPECT_EQ(bus.FindMmio(0x300'0000), nullptr);
+}
+
+TEST(BusTest, MultipleRamRegions) {
+  Bus bus;
+  bus.AddRam(0x8000'0000, 0x1000);
+  bus.AddRam(0x9000'0000, 0x1000);
+  EXPECT_TRUE(bus.Write(0x9000'0010, 8, 42));
+  uint64_t value = 0;
+  EXPECT_TRUE(bus.Read(0x9000'0010, 8, &value));
+  EXPECT_EQ(value, 42u);
+  EXPECT_FALSE(bus.IsRam(0x8800'0000, 4));
+}
+
+}  // namespace
+}  // namespace vfm

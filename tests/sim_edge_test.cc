@@ -1,0 +1,220 @@
+// Additional simulator edge cases: vectored trap entry, trap-virtualization controls
+// (TW/TVM/TSR) exercised from guest code, counter gating end to end, superpage
+// execution, and multi-hart CLINT behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/common/bits.h"
+#include "src/isa/csr.h"
+#include "src/kernel/kernel.h"
+#include "src/platform/platform.h"
+#include "src/sim/machine.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint64_t kBudget = 30'000'000;
+
+// Runs a bare M-mode program built by `body` until ebreak or budget.
+class BareRun {
+ public:
+  explicit BareRun(const std::function<void(Assembler&)>& body) {
+    MachineConfig config;
+    machine_ = std::make_unique<Machine>(config);
+    Assembler a(0x8000'0000);
+    body(a);
+    a.Ebreak();
+    Image image = std::move(a.Finish()).value();
+    machine_->LoadImage(image.base, image.bytes);
+    machine_->hart(0).set_pc(image.entry);
+    for (int i = 0; i < 200000; ++i) {
+      uint64_t word = 0;
+      machine_->bus().Read(machine_->hart(0).pc(), 4, &word);
+      if (Decode(static_cast<uint32_t>(word)).op == Op::kEbreak) {
+        finished_ = true;
+        return;
+      }
+      machine_->StepAll();
+    }
+  }
+
+  bool finished() const { return finished_; }
+  Hart& hart() { return machine_->hart(0); }
+
+ private:
+  std::unique_ptr<Machine> machine_;
+  bool finished_ = false;
+};
+
+TEST(SimEdgeTest, VectoredInterruptEntryFromGuest) {
+  // mtvec vectored: a machine-timer interrupt must vector to base + 4*7.
+  MachineConfig config;
+  Machine machine(config);
+  Assembler a(0x8000'0000);
+  a.Bind("_start");
+  a.La(t0, "vector");
+  a.Ori(t0, t0, 1);  // vectored mode
+  a.Csrw(kCsrMtvec, t0);
+  a.Li(t0, uint64_t{1} << 7);
+  a.Csrw(kCsrMie, t0);
+  a.Csrrsi(zero, kCsrMstatus, 8);  // MIE
+  a.Bind("spin");
+  a.J("spin");
+  a.Align(64);
+  a.Bind("vector");
+  for (int i = 0; i < 7; ++i) {
+    a.J("spin");  // exception + lower-interrupt slots
+  }
+  a.Bind("timer_slot");
+  a.Li(s2, 0x77);
+  a.Bind("hang");
+  a.J("hang");
+  Image image = std::move(a.Finish()).value();
+  machine.LoadImage(image.base, image.bytes);
+  machine.hart(0).set_pc(image.entry);
+  machine.clint().set_mtimecmp(0, 10);
+  machine.RunUntil([&] { return machine.hart(0).gpr(s2) == 0x77; }, 1'000'000);
+  EXPECT_EQ(machine.hart(0).gpr(s2), 0x77u);
+  EXPECT_EQ(machine.hart(0).csrs().Get(kCsrMcause), kInterruptBit | 7);
+}
+
+TEST(SimEdgeTest, TwMakesWfiTrapFromSupervisor) {
+  BareRun run([](Assembler& a) {
+    // Open PMP for S, set TW, drop to S at a wfi; expect an illegal trap back to M.
+    a.Li(t0, ((uint64_t{1} << 55) >> 3) - 1);
+    a.Csrw(CsrPmpaddr(0), t0);
+    a.Li(t0, 0x1F);
+    a.Csrw(CsrPmpcfg(0), t0);
+    a.La(t0, "mtrap");
+    a.Csrw(kCsrMtvec, t0);
+    a.Li(t0, uint64_t{1} << 21);  // TW
+    a.Csrs(kCsrMstatus, t0);
+    a.La(t0, "s_code");
+    a.Csrw(kCsrMepc, t0);
+    a.Li(t0, uint64_t{1} << 11);  // MPP = S
+    a.Csrs(kCsrMstatus, t0);
+    a.Mret();
+    a.Bind("s_code");
+    a.Wfi();
+    a.Bind("s_hang");
+    a.J("s_hang");
+    a.Align(4);
+    a.Bind("mtrap");
+    a.Csrr(s2, kCsrMcause);
+  });
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.hart().gpr(s2), CauseValue(ExceptionCause::kIllegalInstr));
+}
+
+TEST(SimEdgeTest, TvmMakesSatpTrapFromSupervisor) {
+  BareRun run([](Assembler& a) {
+    a.Li(t0, ((uint64_t{1} << 55) >> 3) - 1);
+    a.Csrw(CsrPmpaddr(0), t0);
+    a.Li(t0, 0x1F);
+    a.Csrw(CsrPmpcfg(0), t0);
+    a.La(t0, "mtrap");
+    a.Csrw(kCsrMtvec, t0);
+    a.Li(t0, uint64_t{1} << 20);  // TVM
+    a.Csrs(kCsrMstatus, t0);
+    a.La(t0, "s_code");
+    a.Csrw(kCsrMepc, t0);
+    a.Li(t0, uint64_t{1} << 11);
+    a.Csrs(kCsrMstatus, t0);
+    a.Mret();
+    a.Bind("s_code");
+    a.Csrr(t1, kCsrSatp);  // traps under TVM
+    a.Bind("s_hang");
+    a.J("s_hang");
+    a.Align(4);
+    a.Bind("mtrap");
+    a.Csrr(s2, kCsrMcause);
+  });
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.hart().gpr(s2), CauseValue(ExceptionCause::kIllegalInstr));
+}
+
+TEST(SimEdgeTest, CounterGatingEndToEnd) {
+  // With mcounteren.CY clear, a cycle read from S traps; after setting it, it works.
+  BareRun run([](Assembler& a) {
+    a.Li(t0, ((uint64_t{1} << 55) >> 3) - 1);
+    a.Csrw(CsrPmpaddr(0), t0);
+    a.Li(t0, 0x1F);
+    a.Csrw(CsrPmpcfg(0), t0);
+    a.La(t0, "mtrap");
+    a.Csrw(kCsrMtvec, t0);
+    a.Csrw(kCsrMcounteren, zero);
+    a.La(t0, "s_code");
+    a.Csrw(kCsrMepc, t0);
+    a.Li(t0, uint64_t{1} << 11);
+    a.Csrs(kCsrMstatus, t0);
+    a.Li(s2, 0);
+    a.Li(s3, 0);
+    a.Mret();
+    a.Bind("s_code");
+    a.Csrr(s3, kCsrCycle);  // first attempt traps; the retry succeeds
+    a.Ecall();              // report back to M-mode
+    a.Bind("s_hang");
+    a.J("s_hang");
+    a.Align(4);
+    a.Bind("mtrap");
+    a.Csrr(t0, kCsrMcause);
+    a.Li(t1, 9);
+    a.Beq(t0, t1, "done");  // the ecall: finished
+    a.Csrr(s2, kCsrMcause);  // the illegal read
+    // Enable the counter and retry the same instruction.
+    a.Li(t0, 1);
+    a.Csrw(kCsrMcounteren, t0);
+    a.Mret();  // back to the csrr, which now succeeds
+    a.Bind("done");
+  });
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.hart().gpr(s2), CauseValue(ExceptionCause::kIllegalInstr));
+  EXPECT_GT(run.hart().gpr(s3), 0u);  // the retried read returned a running counter
+}
+
+TEST(SimEdgeTest, PerHartClintComparators) {
+  MachineConfig config;
+  config.hart_count = 3;
+  Machine machine(config);
+  machine.clint().set_mtimecmp(0, 100);
+  machine.clint().set_mtimecmp(1, 200);
+  machine.clint().set_mtime(150);
+  EXPECT_TRUE(machine.clint().MtipPending(0));
+  EXPECT_FALSE(machine.clint().MtipPending(1));
+  EXPECT_FALSE(machine.clint().MtipPending(2));  // reset comparator = all-ones
+}
+
+TEST(SimEdgeTest, GuestExecutesFromSuperpage) {
+  // A kernel with Sv39 enabled keeps executing (its code sits in a 1 GiB leaf).
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  config.enable_paging = true;
+  KernelBuilder kb(config);
+  kb.EmitComputeLoop(500, 16);
+  kb.assembler().Mv(a0, s3);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+  kb.EmitFinish(/*pass=*/true);
+  System system = BootSystem(profile, DeployMode::kMiralis, kb.Finish());
+  ASSERT_TRUE(system.machine->RunUntilFinished(kBudget));
+  EXPECT_EQ(system.machine->finisher().exit_code(), 0u);
+  EXPECT_NE(system.ReadResult(KernelSlots::kScratch), 0u);
+}
+
+TEST(SimEdgeTest, InstretCountsRetiredOnly) {
+  BareRun run([](Assembler& a) {
+    a.Csrr(s2, kCsrMinstret);
+    for (int i = 0; i < 10; ++i) {
+      a.Nop();
+    }
+    a.Csrr(s3, kCsrMinstret);
+  });
+  ASSERT_TRUE(run.finished());
+  // 10 nops + the second csrr itself minus measurement slack: exactly 11 retired
+  // between the two reads.
+  EXPECT_EQ(run.hart().gpr(s3) - run.hart().gpr(s2), 11u);
+}
+
+}  // namespace
+}  // namespace vfm

@@ -1,0 +1,382 @@
+// Unit tests for the hart simulator: CSR access rules, trap entry and delegation,
+// xRET, interrupts, WFI, Sv39 translation, PMP enforcement, and the MPRV path.
+
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/common/bits.h"
+#include "src/sim/machine.h"
+#include "src/sim/mmu.h"
+
+namespace vfm {
+namespace {
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() {
+    MachineConfig config;
+    config.hart_count = 1;
+    machine_ = std::make_unique<Machine>(config);
+    hart_ = &machine_->hart(0);
+  }
+
+  // Executes one instruction word at the current pc/priv.
+  StepResult Exec(uint32_t word) {
+    machine_->bus().Write(hart_->pc(), 4, word);
+    return hart_->Tick();
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Hart* hart_;
+};
+
+constexpr uint64_t kRam = 0x8000'0000;
+
+TEST_F(SimTest, ResetState) {
+  EXPECT_EQ(hart_->priv(), PrivMode::kMachine);
+  EXPECT_EQ(hart_->gpr(0), 0u);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMisa) & MisaBit('S'), MisaBit('S'));
+  EXPECT_EQ(ExtractBits(hart_->csrs().mstatus(), 33, 32), 2u);  // UXL = 64-bit
+}
+
+TEST_F(SimTest, GprZeroHardwired) {
+  hart_->set_gpr(0, 1234);
+  EXPECT_EQ(hart_->gpr(0), 0u);
+}
+
+TEST_F(SimTest, CsrReadWriteMachine) {
+  hart_->set_pc(kRam);
+  hart_->set_gpr(5, 0xABCD);  // t0
+  // csrrw x6, mscratch, x5
+  Exec(0x34029373);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMscratch), 0xABCDu);
+  EXPECT_EQ(hart_->pc(), kRam + 4);
+}
+
+TEST_F(SimTest, CsrAccessFromUserTraps) {
+  hart_->set_pc(kRam);
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart_->set_priv(PrivMode::kUser);
+  const StepResult result = Exec(0x34029373);  // csrrw on mscratch from U
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kIllegalInstr));
+  EXPECT_EQ(hart_->priv(), PrivMode::kMachine);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMepc), kRam);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMtval), 0x34029373u);
+}
+
+TEST_F(SimTest, TimeCsrTrapsWhenAbsent) {
+  hart_->set_pc(kRam);
+  const StepResult result = Exec(0xC0102573);  // csrr a0, time (rdtime)
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kIllegalInstr));
+}
+
+TEST_F(SimTest, TrapEntrySetsStatusStack) {
+  hart_->set_pc(kRam);
+  uint64_t mstatus = hart_->csrs().mstatus();
+  mstatus = SetBit(mstatus, MstatusBits::kMie, 1);
+  hart_->csrs().set_mstatus(mstatus);
+  hart_->csrs().Set(kCsrMtvec, kRam + 0x100);
+  hart_->TakeTrap(CauseValue(ExceptionCause::kBreakpoint), 0x42);
+  mstatus = hart_->csrs().mstatus();
+  EXPECT_EQ(Bit(mstatus, MstatusBits::kMie), 0u);
+  EXPECT_EQ(Bit(mstatus, MstatusBits::kMpie), 1u);
+  EXPECT_EQ(ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo), 3u);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMcause), 3u);
+  EXPECT_EQ(hart_->csrs().Get(kCsrMtval), 0x42u);
+  EXPECT_EQ(hart_->pc(), kRam + 0x100);
+}
+
+TEST_F(SimTest, DelegatedTrapGoesToSupervisor) {
+  hart_->csrs().Set(kCsrMedeleg, uint64_t{1} << 8);  // delegate ecall-from-U
+  hart_->csrs().Set(kCsrStvec, kRam + 0x200);
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart_->set_priv(PrivMode::kUser);
+  hart_->set_pc(kRam);
+  const StepResult result = Exec(0x00000073);  // ecall
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_target, PrivMode::kSupervisor);
+  EXPECT_FALSE(result.entered_mmode);
+  EXPECT_EQ(hart_->priv(), PrivMode::kSupervisor);
+  EXPECT_EQ(hart_->csrs().Get(kCsrScause), 8u);
+  EXPECT_EQ(hart_->csrs().Get(kCsrSepc), kRam);
+  EXPECT_EQ(hart_->pc(), kRam + 0x200);
+  EXPECT_EQ(Bit(hart_->csrs().mstatus(), MstatusBits::kSpp), 0u);  // from U
+}
+
+TEST_F(SimTest, EcallCausesByPriv) {
+  hart_->set_pc(kRam);
+  EXPECT_EQ(Exec(0x00000073).trap_cause, CauseValue(ExceptionCause::kEcallFromM));
+  hart_->set_priv(PrivMode::kSupervisor);
+  hart_->set_pc(kRam);
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  EXPECT_EQ(Exec(0x00000073).trap_cause, CauseValue(ExceptionCause::kEcallFromS));
+}
+
+TEST_F(SimTest, MretRestoresPrivAndPc) {
+  hart_->csrs().Set(kCsrMepc, kRam + 0x40);
+  uint64_t mstatus = hart_->csrs().mstatus();
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo, 1);  // S
+  mstatus = SetBit(mstatus, MstatusBits::kMpie, 1);
+  mstatus = SetBit(mstatus, MstatusBits::kMprv, 1);
+  hart_->csrs().set_mstatus(mstatus);
+  hart_->set_pc(kRam);
+  Exec(0x30200073);  // mret
+  EXPECT_EQ(hart_->priv(), PrivMode::kSupervisor);
+  EXPECT_EQ(hart_->pc(), kRam + 0x40);
+  mstatus = hart_->csrs().mstatus();
+  EXPECT_EQ(Bit(mstatus, MstatusBits::kMie), 1u);   // from MPIE
+  EXPECT_EQ(Bit(mstatus, MstatusBits::kMprv), 0u);  // cleared: target < M
+  EXPECT_EQ(ExtractBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo), 0u);
+}
+
+TEST_F(SimTest, MretFromSupervisorIsIllegal) {
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart_->set_priv(PrivMode::kSupervisor);
+  hart_->set_pc(kRam);
+  const StepResult result = Exec(0x30200073);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kIllegalInstr));
+}
+
+TEST_F(SimTest, SretHonorsTsr) {
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  uint64_t mstatus = hart_->csrs().mstatus();
+  mstatus = SetBit(mstatus, MstatusBits::kTsr, 1);
+  hart_->csrs().set_mstatus(mstatus);
+  hart_->set_priv(PrivMode::kSupervisor);
+  hart_->set_pc(kRam);
+  const StepResult result = Exec(0x10200073);  // sret
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kIllegalInstr));
+}
+
+TEST_F(SimTest, InterruptPriorityAndDelegation) {
+  CsrFile& csrs = hart_->csrs();
+  csrs.Set(kCsrMie, (uint64_t{1} << 7) | (uint64_t{1} << 5) | (uint64_t{1} << 1));
+  csrs.Set(kCsrMideleg, 0x222);
+  csrs.SetInterruptLine(InterruptCause::kMachineTimer, true);
+  csrs.set_mip_sw(uint64_t{1} << 5);  // STIP also pending
+  // From S-mode: MTI (not delegated) wins over STI.
+  hart_->set_priv(PrivMode::kSupervisor);
+  EXPECT_EQ(hart_->PendingInterrupt().value_or(0), CauseValue(InterruptCause::kMachineTimer));
+  // Clear MTI: STI remains, delegated, requires SIE in S-mode.
+  csrs.SetInterruptLine(InterruptCause::kMachineTimer, false);
+  EXPECT_FALSE(hart_->PendingInterrupt().has_value());
+  csrs.set_mstatus(SetBit(csrs.mstatus(), MstatusBits::kSie, 1));
+  EXPECT_EQ(hart_->PendingInterrupt().value_or(0),
+            CauseValue(InterruptCause::kSupervisorTimer));
+  // From U-mode the delegated interrupt fires regardless of SIE.
+  csrs.set_mstatus(SetBit(csrs.mstatus(), MstatusBits::kSie, 0));
+  hart_->set_priv(PrivMode::kUser);
+  EXPECT_TRUE(hart_->PendingInterrupt().has_value());
+}
+
+TEST_F(SimTest, MachineInterruptMaskedByMieBit) {
+  CsrFile& csrs = hart_->csrs();
+  csrs.SetInterruptLine(InterruptCause::kMachineTimer, true);
+  csrs.Set(kCsrMie, 0);
+  EXPECT_FALSE(hart_->PendingInterrupt().has_value());
+  csrs.Set(kCsrMie, uint64_t{1} << 7);
+  // In M-mode, mstatus.MIE gates machine interrupts.
+  EXPECT_FALSE(hart_->PendingInterrupt().has_value());
+  csrs.set_mstatus(SetBit(csrs.mstatus(), MstatusBits::kMie, 1));
+  EXPECT_TRUE(hart_->PendingInterrupt().has_value());
+}
+
+TEST_F(SimTest, WfiParksAndWakes) {
+  hart_->set_pc(kRam);
+  Exec(0x10500073);  // wfi
+  EXPECT_TRUE(hart_->waiting());
+  EXPECT_EQ(hart_->pc(), kRam + 4);
+  // Parked: ticks do nothing until an enabled interrupt is pending.
+  StepResult result = hart_->Tick();
+  EXPECT_TRUE(result.waiting);
+  hart_->csrs().Set(kCsrMie, uint64_t{1} << 7);
+  hart_->csrs().SetInterruptLine(InterruptCause::kMachineTimer, true);
+  machine_->bus().Write(kRam + 4, 4, 0x00000013);  // nop at resume point
+  result = hart_->Tick();
+  EXPECT_FALSE(result.waiting);
+  EXPECT_FALSE(hart_->waiting());
+}
+
+TEST_F(SimTest, MisalignedLoadTrapsWithAddress) {
+  hart_->set_pc(kRam);
+  hart_->set_gpr(6, kRam + 0x101);  // t1
+  // lw t0, 0(t1)
+  const StepResult result = Exec(0x00032283);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kLoadAddrMisaligned));
+  EXPECT_EQ(hart_->csrs().Get(kCsrMtval), kRam + 0x101);
+}
+
+TEST_F(SimTest, LoadSignExtension) {
+  hart_->set_pc(kRam);
+  machine_->bus().Write(kRam + 0x100, 8, 0xFFFF'FFFF'FFFF'FF80ull);
+  hart_->set_gpr(6, kRam + 0x100);
+  Exec(0x00030283);  // lb t0, 0(t1)
+  EXPECT_EQ(hart_->gpr(5), 0xFFFF'FFFF'FFFF'FF80ull);
+  hart_->set_pc(kRam);
+  Exec(0x00034283);  // lbu t0, 0(t1)
+  EXPECT_EQ(hart_->gpr(5), 0x80u);
+}
+
+TEST_F(SimTest, PmpDeniesSupervisorLoad) {
+  // One NAPOT entry covering RAM with X-only.
+  CsrFile& csrs = hart_->csrs();
+  csrs.pmp().SetCfg(0, PmpCfg::FromByte(0x1C));  // NAPOT, X only
+  csrs.pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart_->set_priv(PrivMode::kSupervisor);
+  hart_->set_pc(kRam);
+  hart_->set_gpr(6, kRam + 0x100);
+  const StepResult result = Exec(0x00033283);  // ld t0, 0(t1)
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kLoadAccessFault));
+}
+
+TEST_F(SimTest, MprvUsesMppForDataAccess) {
+  CsrFile& csrs = hart_->csrs();
+  // PMP: everything X-only (denies S loads), so an MPRV load from M with MPP=S faults.
+  csrs.pmp().SetCfg(0, PmpCfg::FromByte(0x1C));
+  csrs.pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  uint64_t mstatus = csrs.mstatus();
+  mstatus = SetBit(mstatus, MstatusBits::kMprv, 1);
+  mstatus = InsertBits(mstatus, MstatusBits::kMppHi, MstatusBits::kMppLo, 1);
+  csrs.set_mstatus(mstatus);
+  hart_->set_pc(kRam);
+  hart_->set_gpr(6, kRam + 0x100);
+  const StepResult result = Exec(0x00033283);  // ld t0, 0(t1)
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap_cause, CauseValue(ExceptionCause::kLoadAccessFault));
+}
+
+// ---- Sv39 translation. --------------------------------------------------------
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : pmp_(0) {
+    bus_.AddRam(kRam, 16 << 20);
+    // Root table at kRam; map VA 0x4000_0000 (1 GiB region 1) to PA kRam via a 1 GiB
+    // superpage, and a 4 KiB fine mapping under region 0.
+    root_ = kRam;
+    const uint64_t giga_pte = ((kRam >> 12) << 10) | 0xCF;  // V R W X A D
+    bus_.Write(root_ + 8 * 1, 8, giga_pte);
+    // Region 0: two-level walk to a 4 KiB page: L2[0] -> table at kRam+0x1000,
+    // L1[0] -> table at kRam+0x2000, L0[3] -> PA kRam+0x5000.
+    bus_.Write(root_ + 0, 8, (((kRam + 0x1000) >> 12) << 10) | 0x01);
+    bus_.Write(kRam + 0x1000, 8, (((kRam + 0x2000) >> 12) << 10) | 0x01);
+    bus_.Write(kRam + 0x2000 + 8 * 3, 8, (((kRam + 0x5000) >> 12) << 10) | 0xDF);  // RW, U
+    params_.satp = (uint64_t{8} << 60) | (root_ >> 12);
+    params_.priv = PrivMode::kSupervisor;
+  }
+
+  Bus bus_;
+  PmpBank pmp_;  // zero entries: machine-permissive, S/U... no entries -> deny!
+  uint64_t root_;
+  TranslateParams params_;
+};
+
+TEST_F(MmuTest, BareModePassThrough) {
+  TranslateParams bare;
+  bare.satp = 0;
+  bare.priv = PrivMode::kSupervisor;
+  const TranslateResult result = TranslateSv39(&bus_, pmp_, bare, 0x1234, AccessType::kLoad);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.paddr, 0x1234u);
+}
+
+TEST_F(MmuTest, GigapageTranslation) {
+  const TranslateResult result =
+      TranslateSv39(&bus_, pmp_, params_, 0x4000'0123, AccessType::kLoad);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.paddr, kRam + 0x123);
+  EXPECT_EQ(result.walk_levels, 1u);
+}
+
+TEST_F(MmuTest, FourKbWalk) {
+  TranslateParams user = params_;
+  user.priv = PrivMode::kUser;  // the 4 KiB leaf is a user page
+  const TranslateResult result =
+      TranslateSv39(&bus_, pmp_, user, 0x3000 + 0x45, AccessType::kStore);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.paddr, kRam + 0x5000 + 0x45);
+  EXPECT_EQ(result.walk_levels, 3u);
+}
+
+TEST_F(MmuTest, AdBitsUpdatedInMemory) {
+  // Install a clean PTE (no A/D) and verify the hardware-update behaviour.
+  bus_.Write(kRam + 0x2000 + 8 * 3, 8, (((kRam + 0x5000) >> 12) << 10) | 0x17);  // V R W U
+  TranslateParams user = params_;
+  user.priv = PrivMode::kUser;
+  ASSERT_TRUE(TranslateSv39(&bus_, pmp_, user, 0x3000, AccessType::kLoad).ok);
+  uint64_t pte = 0;
+  bus_.Read(kRam + 0x2000 + 8 * 3, 8, &pte);
+  EXPECT_NE(pte & PteBits::kAccessed, 0u);
+  EXPECT_EQ(pte & PteBits::kDirty, 0u);  // loads set A only
+  ASSERT_TRUE(TranslateSv39(&bus_, pmp_, user, 0x3000, AccessType::kStore).ok);
+  bus_.Read(kRam + 0x2000 + 8 * 3, 8, &pte);
+  EXPECT_NE(pte & PteBits::kDirty, 0u);
+}
+
+TEST_F(MmuTest, UserPageBlockedForSupervisorWithoutSum) {
+  const TranslateResult no_sum =
+      TranslateSv39(&bus_, pmp_, params_, 0x3000, AccessType::kLoad);
+  EXPECT_FALSE(no_sum.ok);
+  EXPECT_EQ(no_sum.fault, ExceptionCause::kLoadPageFault);
+  TranslateParams with_sum = params_;
+  with_sum.sum = true;
+  EXPECT_TRUE(TranslateSv39(&bus_, pmp_, with_sum, 0x3000, AccessType::kLoad).ok);
+  // Fetch from a user page is never allowed for S, SUM or not.
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, with_sum, 0x3000, AccessType::kFetch).ok);
+}
+
+TEST_F(MmuTest, UserAccessToUserPage) {
+  TranslateParams user = params_;
+  user.priv = PrivMode::kUser;
+  EXPECT_TRUE(TranslateSv39(&bus_, pmp_, user, 0x3000, AccessType::kLoad).ok);
+  // The gigapage is not U-accessible.
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, user, 0x4000'0000, AccessType::kLoad).ok);
+}
+
+TEST_F(MmuTest, NonCanonicalAddressFaults) {
+  const TranslateResult result =
+      TranslateSv39(&bus_, pmp_, params_, uint64_t{1} << 45, AccessType::kLoad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.fault, ExceptionCause::kLoadPageFault);
+  // But sign-extended canonical high addresses walk normally (and miss here).
+  const TranslateResult high = TranslateSv39(&bus_, pmp_, params_,
+                                             0xFFFF'FFC0'0000'0000ull, AccessType::kLoad);
+  EXPECT_FALSE(high.ok);  // unmapped, still a page fault (not a crash)
+}
+
+TEST_F(MmuTest, InvalidAndReservedPtes) {
+  bus_.Write(root_ + 8 * 2, 8, 0x2 | 0x4);  // W without R, V=0 too
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, params_, 0x8000'0000ull, AccessType::kLoad).ok);
+  bus_.Write(root_ + 8 * 2, 8, 0x1 | 0x4);  // V=1, W=1, R=0: reserved
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, params_, 0x8000'0000ull, AccessType::kLoad).ok);
+}
+
+TEST_F(MmuTest, MisalignedSuperpageFaults) {
+  // A 1 GiB leaf whose ppn low bits are nonzero is a misaligned superpage.
+  bus_.Write(root_ + 8 * 2, 8, (((kRam + 0x1000) >> 12) << 10) | 0xCF);
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, params_, 0x8000'0000ull, AccessType::kLoad).ok);
+}
+
+TEST_F(MmuTest, MxrMakesExecutableReadable) {
+  // Map an X-only user page at L0[4].
+  bus_.Write(kRam + 0x2000 + 8 * 4, 8, (((kRam + 0x6000) >> 12) << 10) | 0xD9);  // V X A D, U
+  TranslateParams user = params_;
+  user.priv = PrivMode::kUser;
+  EXPECT_FALSE(TranslateSv39(&bus_, pmp_, user, 0x4000, AccessType::kLoad).ok);
+  user.mxr = true;
+  EXPECT_TRUE(TranslateSv39(&bus_, pmp_, user, 0x4000, AccessType::kLoad).ok);
+}
+
+}  // namespace
+}  // namespace vfm

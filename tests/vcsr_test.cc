@@ -1,0 +1,156 @@
+// Unit tests for the monitor's virtual CSR file (src/core/vcsr): the shadow state the
+// instruction emulator operates on (paper §4.1).
+
+#include <gtest/gtest.h>
+
+#include "src/common/bits.h"
+#include "src/core/vcsr.h"
+
+namespace vfm {
+namespace {
+
+VhartConfig DefaultConfig() {
+  VhartConfig config;
+  config.pmp_entries = 3;
+  config.hart_index = 2;
+  return config;
+}
+
+TEST(VcsrTest, MhartidReportsConfiguredIndex) {
+  VCsrFile vcsr(DefaultConfig());
+  EXPECT_EQ(vcsr.Get(kCsrMhartid), 2u);
+  uint64_t out = 0;
+  EXPECT_TRUE(vcsr.Read(kCsrMhartid, PrivMode::kMachine, &out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_FALSE(vcsr.Write(kCsrMhartid, PrivMode::kMachine, 7));
+}
+
+TEST(VcsrTest, ExistenceFollowsConfig) {
+  VCsrFile base(DefaultConfig());
+  EXPECT_FALSE(base.Exists(kCsrTime));
+  EXPECT_FALSE(base.Exists(kCsrStimecmp));
+  EXPECT_FALSE(base.Exists(kCsrCustom0));
+  EXPECT_TRUE(base.Exists(kCsrMstatus));
+  EXPECT_TRUE(base.Exists(CsrPmpaddr(63)));
+  EXPECT_FALSE(base.Exists(static_cast<uint16_t>(CsrPmpcfg(0) + 1)));  // odd pmpcfg
+
+  VhartConfig full = DefaultConfig();
+  full.has_time_csr = true;
+  full.has_sstc = true;
+  full.has_custom_csrs = true;
+  VCsrFile rich(full);
+  EXPECT_TRUE(rich.Exists(kCsrTime));
+  EXPECT_TRUE(rich.Exists(kCsrStimecmp));
+  EXPECT_TRUE(rich.Exists(kCsrCustom3));
+}
+
+TEST(VcsrTest, CustomCsrsStoreValues) {
+  VhartConfig config = DefaultConfig();
+  config.has_custom_csrs = true;
+  VCsrFile vcsr(config);
+  EXPECT_TRUE(vcsr.Write(kCsrCustom1, PrivMode::kMachine, 0xFEED));
+  uint64_t out = 0;
+  EXPECT_TRUE(vcsr.Read(kCsrCustom1, PrivMode::kMachine, &out));
+  EXPECT_EQ(out, 0xFEEDu);
+  // Custom CSRs are M-mode only (0x7C1 encodes M privilege).
+  EXPECT_FALSE(vcsr.Read(kCsrCustom1, PrivMode::kSupervisor, &out));
+}
+
+TEST(VcsrTest, VirtualPmpLegalization) {
+  VCsrFile vcsr(DefaultConfig());
+  // Entry 0: NAPOT RWX; entry 1: the reserved W-without-R combination (dropped);
+  // entry 2: NAPOT locked.
+  vcsr.Set(CsrPmpcfg(0), 0x9F'02'1Full);
+  EXPECT_EQ(vcsr.pmpcfg_byte(0), 0x1F);
+  EXPECT_EQ(vcsr.pmpcfg_byte(1), 0x00);
+  EXPECT_EQ(vcsr.pmpcfg_byte(2), 0x9F);
+  // The locked entry now ignores further writes.
+  vcsr.Set(CsrPmpcfg(0), 0);
+  EXPECT_EQ(vcsr.pmpcfg_byte(0), 0x00);
+  EXPECT_EQ(vcsr.pmpcfg_byte(2), 0x9F);
+  // Entries beyond the virtual count read zero and ignore writes.
+  vcsr.Set(CsrPmpaddr(5), 0x1234);
+  EXPECT_EQ(vcsr.Get(CsrPmpaddr(5)), 0u);
+}
+
+TEST(VcsrTest, LockedTorFreezesPreviousAddr) {
+  VCsrFile vcsr(DefaultConfig());
+  vcsr.Set(CsrPmpaddr(0), 0x400);
+  vcsr.Set(CsrPmpcfg(0), uint64_t{0x88 | 0x01} << 8);  // entry 1: locked TOR R
+  vcsr.Set(CsrPmpaddr(0), 0x999);
+  EXPECT_EQ(vcsr.pmpaddr(0), 0x400u);
+}
+
+TEST(VcsrTest, SstatusViewRoundTrip) {
+  VCsrFile vcsr(DefaultConfig());
+  vcsr.Set(kCsrSstatus, (uint64_t{1} << MstatusBits::kSie) | (uint64_t{1} << MstatusBits::kSpp) |
+                            (uint64_t{1} << MstatusBits::kMie));
+  const uint64_t sstatus = vcsr.Get(kCsrSstatus);
+  EXPECT_EQ(Bit(sstatus, MstatusBits::kSie), 1u);
+  EXPECT_EQ(Bit(sstatus, MstatusBits::kSpp), 1u);
+  // MIE is not in the sstatus view and must not leak through the write.
+  EXPECT_EQ(Bit(vcsr.Get(kCsrMstatus), MstatusBits::kMie), 0u);
+}
+
+TEST(VcsrTest, EffectiveMipComposesLines) {
+  VCsrFile vcsr(DefaultConfig());
+  vcsr.Set(kCsrMip, uint64_t{1} << 1);  // SSIP software bit
+  vcsr.SetVirtualInterruptLine(InterruptCause::kMachineTimer, true);
+  EXPECT_EQ(vcsr.EffectiveMip(), (uint64_t{1} << 1) | (uint64_t{1} << 7));
+  // MTIP is not writable through mip.
+  vcsr.Set(kCsrMip, 0);
+  EXPECT_EQ(vcsr.EffectiveMip(), uint64_t{1} << 7);
+  vcsr.SetVirtualInterruptLine(InterruptCause::kMachineTimer, false);
+  EXPECT_EQ(vcsr.EffectiveMip(), 0u);
+}
+
+TEST(VcsrTest, PrivilegeChecks) {
+  VCsrFile vcsr(DefaultConfig());
+  uint64_t out = 0;
+  EXPECT_FALSE(vcsr.Read(kCsrMstatus, PrivMode::kSupervisor, &out));
+  EXPECT_TRUE(vcsr.Read(kCsrSstatus, PrivMode::kSupervisor, &out));
+  EXPECT_FALSE(vcsr.Read(kCsrSstatus, PrivMode::kUser, &out));
+  EXPECT_FALSE(vcsr.Write(kCsrMie, PrivMode::kSupervisor, 0));
+  EXPECT_TRUE(vcsr.Write(kCsrMie, PrivMode::kMachine, 0x88));
+}
+
+TEST(VcsrTest, HpmHardwiredZero) {
+  VCsrFile vcsr(DefaultConfig());
+  EXPECT_TRUE(vcsr.Write(CsrMhpmcounter(5), PrivMode::kMachine, 0x1234));
+  uint64_t out = 99;
+  EXPECT_TRUE(vcsr.Read(CsrMhpmcounter(5), PrivMode::kMachine, &out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(VcsrTest, HShadowStorageWithHExt) {
+  VhartConfig config = DefaultConfig();
+  config.has_h_ext = true;
+  VCsrFile vcsr(config);
+  EXPECT_TRUE(vcsr.Exists(kCsrHstatus));
+  EXPECT_TRUE(vcsr.Exists(kCsrVsatp));
+  vcsr.Set(kCsrVsatp, 0x1234);
+  EXPECT_EQ(vcsr.Get(kCsrVsatp), 0x1234u);
+  // Without the extension the bank is absent.
+  VCsrFile plain(DefaultConfig());
+  EXPECT_FALSE(plain.Exists(kCsrHstatus));
+}
+
+TEST(VcsrTest, TimeSourceWiring) {
+  VhartConfig config = DefaultConfig();
+  config.has_time_csr = true;
+  VCsrFile vcsr(config);
+  uint64_t now = 42;
+  vcsr.set_time_source([&now] { return now; });
+  EXPECT_EQ(vcsr.Get(kCsrTime), 42u);
+  now = 43;
+  EXPECT_EQ(vcsr.Get(kCsrTime), 43u);
+}
+
+TEST(VcsrTest, MepcAlignmentMasked) {
+  VCsrFile vcsr(DefaultConfig());
+  vcsr.Set(kCsrMepc, 0x8000'0003);
+  EXPECT_EQ(vcsr.Get(kCsrMepc), 0x8000'0000u);
+}
+
+}  // namespace
+}  // namespace vfm

@@ -1,0 +1,30 @@
+// Runs the verification harness (paper §6) as part of the test suite: every task
+// must complete with zero divergence between the monitor and the reference model.
+
+#include <gtest/gtest.h>
+
+#include "src/verif/verif.h"
+
+namespace vfm {
+namespace {
+
+void ExpectClean(const VerifResult& result) {
+  EXPECT_EQ(result.mismatches, 0u) << result.task << ": " <<
+      (result.examples.empty() ? "" : result.examples.front());
+  EXPECT_GT(result.cases, 0u);
+}
+
+TEST(VerifTest, Decoder) { ExpectClean(Verifier().VerifyDecoder()); }
+TEST(VerifTest, CsrRead) { ExpectClean(Verifier().VerifyCsrRead(10)); }
+TEST(VerifTest, CsrWrite) { ExpectClean(Verifier().VerifyCsrWrite(60)); }
+TEST(VerifTest, Mret) { ExpectClean(Verifier().VerifyMret()); }
+TEST(VerifTest, Sret) { ExpectClean(Verifier().VerifySret()); }
+TEST(VerifTest, Wfi) { ExpectClean(Verifier().VerifyWfi()); }
+TEST(VerifTest, VirtualInterrupt) { ExpectClean(Verifier().VerifyVirtualInterrupt()); }
+TEST(VerifTest, EndToEnd) { ExpectClean(Verifier().VerifyEndToEnd(20000)); }
+TEST(VerifTest, PmpFaithfulExecution) {
+  ExpectClean(Verifier().VerifyPmpFaithfulExecution(60, 32));
+}
+
+}  // namespace
+}  // namespace vfm

@@ -1,0 +1,113 @@
+// Tests for the workload generators (src/workloads): every profile runs to completion
+// in every deployment mode, produces sane metrics, and preserves computation.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace vfm {
+namespace {
+
+WorkloadProfile Shrink(WorkloadProfile profile, uint64_t requests) {
+  profile.requests = requests;
+  if (profile.block_ios > 0) {
+    profile.block_ios = 4;
+  }
+  return profile;
+}
+
+class ProfileMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, DeployMode>> {
+ protected:
+  static WorkloadProfile ProfileFor(int index) {
+    switch (index) {
+      case 0:
+        return Shrink(CoreMarkProProfile(), 4);
+      case 1:
+        return Shrink(RedisProfile(), 20);
+      case 2:
+        return Shrink(MemcachedProfile(), 10);
+      case 3:
+        return Shrink(MysqlProfile(), 10);
+      case 4:
+        return Shrink(GccProfile(), 4);
+      case 5:
+        return Shrink(IozoneProfile(false), 8);
+      default:
+        return Shrink(MemcachedLatencyProfile(), 32);
+    }
+  }
+};
+
+TEST_P(ProfileMatrixTest, RunsAndReportsMetrics) {
+  const auto [index, mode] = GetParam();
+  const WorkloadProfile profile = ProfileFor(index);
+  const WorkloadRun run = RunWorkload(PlatformKind::kVf2Sim, mode, profile, 200'000'000);
+  EXPECT_EQ(run.requests, profile.requests);
+  EXPECT_GT(run.cycles, 0u);
+  EXPECT_GT(run.instructions, 0u);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_GT(run.requests_per_second, 0.0);
+  if (mode != DeployMode::kNative) {
+    EXPECT_GT(run.os_traps, 0u);
+  }
+  if (mode == DeployMode::kMiralisNoOffload) {
+    EXPECT_GT(run.world_switches, 0u);
+  }
+  if (profile.record_latency) {
+    EXPECT_EQ(run.latencies.size(), profile.requests);
+    for (uint64_t latency : run.latencies) {
+      EXPECT_GT(latency, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfilesAllModes, ProfileMatrixTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(DeployMode::kNative, DeployMode::kMiralis,
+                                         DeployMode::kMiralisNoOffload)));
+
+TEST(WorkloadsTest, CheckValueIdenticalAcrossModes) {
+  // The computation's result must be mode-independent: virtualization may slow the
+  // machine down but can never change architectural results.
+  WorkloadProfile profile = Shrink(RedisProfile(), 10);
+  profile.time_reads_per_request = 0;  // time values differ across modes by design
+  profile.timer_interval = 0;
+  uint64_t checks[3];
+  int i = 0;
+  for (DeployMode mode :
+       {DeployMode::kNative, DeployMode::kMiralis, DeployMode::kMiralisNoOffload}) {
+    PlatformProfile platform = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+    Image kernel = BuildWorkloadKernel(platform, profile);
+    System system = BootSystem(platform, mode, std::move(kernel));
+    EXPECT_TRUE(system.machine->RunUntilFinished(100'000'000));
+    checks[i++] = system.ReadResult(KernelSlots::kScratch + 1);
+  }
+  EXPECT_EQ(checks[0], checks[1]);
+  EXPECT_EQ(checks[1], checks[2]);
+}
+
+TEST(WorkloadsTest, NoOffloadCostsMoreCyclesOnTrapHeavyWork) {
+  const WorkloadProfile profile = Shrink(MemcachedLatencyProfile(), 64);
+  const WorkloadRun fast =
+      RunWorkload(PlatformKind::kVf2Sim, DeployMode::kMiralis, profile, 200'000'000);
+  const WorkloadRun slow = RunWorkload(PlatformKind::kVf2Sim,
+                                       DeployMode::kMiralisNoOffload, profile, 200'000'000);
+  EXPECT_GT(slow.cycles, fast.cycles * 3 / 2);  // at least 1.5x
+}
+
+TEST(WorkloadsTest, Rv8SuiteShape) {
+  EXPECT_EQ(Rv8Suite().size(), 7u);  // the RV8 kernels of Figure 14
+  for (const Rv8Kernel& kernel : Rv8Suite()) {
+    EXPECT_GT(kernel.iterations, 0u);
+    EXPECT_GT(kernel.alu_ops + kernel.mul_ops + kernel.mem_ops, 0u);
+    const Image payload = BuildRv8Payload(0x8400'0000, kernel);
+    EXPECT_GT(payload.bytes.size(), 16u);
+    EXPECT_EQ(payload.entry, 0x8400'0000u);
+  }
+}
+
+}  // namespace
+}  // namespace vfm
