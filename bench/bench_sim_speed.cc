@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "src/common/log.h"
 #include "src/core/vcpu.h"
 #include "src/core/vpmp.h"
@@ -89,6 +92,49 @@ void BM_WorldSwitchPath(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldSwitchPath)->Unit(benchmark::kMicrosecond);
 
+// Dedicated timed run for the machine-readable result file: boots the same native
+// compute loop as BM_InterpreterThroughput and measures wall-clock throughput plus
+// the decoded-instruction cache hit rate over a fixed instruction count.
+void WriteSimSpeedJson() {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  KernelBuilder kb(config);
+  kb.EmitComputeLoop(1'000'000'000, 16);  // effectively endless
+  kb.EmitFinish(true);
+  System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+  system.machine->RunUntilFinished(20'000);  // skip boot: steady-state only
+
+  const Hart& hart = system.machine->hart(0);
+  const uint64_t start_instret = system.machine->total_instret();
+  const uint64_t start_hits = hart.decode_cache_hits();
+  const uint64_t start_misses = hart.decode_cache_misses();
+  constexpr uint64_t kMeasured = 20'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  system.machine->RunUntilFinished(kMeasured);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  const uint64_t instructions = system.machine->total_instret() - start_instret;
+  const uint64_t hits = hart.decode_cache_hits() - start_hits;
+  const uint64_t misses = hart.decode_cache_misses() - start_misses;
+  const uint64_t lookups = hits + misses;
+
+  JsonResultWriter json("sim_speed");
+  json.Add("instructions_retired", static_cast<double>(instructions));
+  json.Add("seconds", seconds);
+  json.Add("mips", seconds > 0 ? static_cast<double>(instructions) / seconds / 1e6 : 0.0);
+  json.Add("decode_cache_hit_rate",
+           lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0);
+  const char* path = "BENCH_sim_speed.json";
+  if (json.WriteTo(path)) {
+    std::printf("wrote %s (%.1f MIPS)\n", path,
+                seconds > 0 ? static_cast<double>(instructions) / seconds / 1e6 : 0.0);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace vfm
 
@@ -96,5 +142,6 @@ int main(int argc, char** argv) {
   vfm::SetLogLevel(vfm::LogLevel::kError);  // warm-up budget warnings are expected
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  vfm::WriteSimSpeedJson();
   return 0;
 }

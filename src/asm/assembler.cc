@@ -283,7 +283,8 @@ void Assembler::Li(Reg rd, uint64_t value) {
   }
   // General 64-bit case: materialize the upper bits, shift, add the low 12 bits.
   const int64_t lo = static_cast<int64_t>(SignExtend(value & 0xFFF, 12));
-  const uint64_t hi = static_cast<uint64_t>((v - lo)) >> 12;
+  // Subtract in unsigned arithmetic: v - lo can overflow int64 (e.g. INT64_MAX - -1).
+  const uint64_t hi = (value - static_cast<uint64_t>(lo)) >> 12;
   Li(rd, SignExtend(hi, 52));
   Slli(rd, rd, 12);
   if (lo != 0) {

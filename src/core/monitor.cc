@@ -76,6 +76,18 @@ bool OffloadAllowed(const MonitorConfig& config, OsTrapCause cause) {
          (config.offload_mask & (uint32_t{1} << static_cast<unsigned>(cause))) != 0;
 }
 
+// Snapshots the trap the hart just delivered to M-mode from its machine CSRs.
+TrapInfo CurrentMachineTrap(Hart& hart) {
+  CsrFile& pcsr = hart.csrs();
+  TrapInfo trap;
+  trap.cause = pcsr.Get(kCsrMcause);
+  trap.tval = pcsr.Get(kCsrMtval);
+  trap.epc = pcsr.mepc();
+  trap.priv = static_cast<PrivMode>(
+      ExtractBits(pcsr.mstatus(), MstatusBits::kMppHi, MstatusBits::kMppLo));
+  return trap;
+}
+
 }  // namespace
 
 const char* OsTrapCauseName(OsTrapCause cause) {
@@ -209,16 +221,15 @@ DecodedInstr Monitor::FetchFirmwareInstr(Hart& hart) {
 
 void Monitor::HandleFirmwareTrap(Hart& hart) {
   HartState& hs = state(hart);
-  const uint64_t cause = hart.csrs().Get(kCsrMcause);
-  const uint64_t tval = hart.csrs().Get(kCsrMtval);
-  hs.vctx.set_pc(hart.csrs().mepc());
+  const TrapInfo trap = CurrentMachineTrap(hart);
+  hs.vctx.set_pc(trap.epc);
 
-  if ((cause & kInterruptBit) != 0) {
-    HandleMachineInterrupt(hart, cause);
+  if (trap.is_interrupt()) {
+    HandleMachineInterrupt(hart, trap.cause);
     return;
   }
 
-  switch (static_cast<ExceptionCause>(cause)) {
+  switch (static_cast<ExceptionCause>(trap.cause)) {
     case ExceptionCause::kIllegalInstr:
       EmulateFirmwareInstr(hart);
       return;
@@ -236,17 +247,16 @@ void Monitor::HandleFirmwareTrap(Hart& hart) {
     case ExceptionCause::kStoreAccessFault:
     case ExceptionCause::kLoadAddrMisaligned:
     case ExceptionCause::kStoreAddrMisaligned:
-      HandleFirmwareMemFault(hart, cause, tval);
+      HandleFirmwareMemFault(hart, trap);
       return;
     default: {
       // Breakpoints, fetch faults, and anything else the virtual machine would
       // deliver to M-mode are re-injected into the virtual firmware.
       if (policy_ != nullptr &&
-          policy_->OnFirmwareTrap(*this, hart.index(), cause, tval) ==
-              PolicyDecision::kHandled) {
+          policy_->OnFirmwareTrap(*this, hart.index(), trap) == PolicyDecision::kHandled) {
         return;
       }
-      hs.vctx.TakeVirtualTrap(cause, tval);
+      hs.vctx.TakeVirtualTrap(trap.cause, trap.tval);
       ResumeFirmware(hart);
       return;
     }
@@ -304,8 +314,10 @@ void Monitor::EmulateFirmwareInstr(Hart& hart) {
   }
 }
 
-void Monitor::HandleFirmwareMemFault(Hart& hart, uint64_t cause, uint64_t addr) {
+void Monitor::HandleFirmwareMemFault(Hart& hart, const TrapInfo& trap) {
   HartState& hs = state(hart);
+  const uint64_t cause = trap.cause;
+  const uint64_t addr = trap.tval;
   const MemoryMap& map = machine_->config().map;
 
   // Virtual CLINT window: the only MMIO device the monitor emulates itself (§4.3).
@@ -327,7 +339,7 @@ void Monitor::HandleFirmwareMemFault(Hart& hart, uint64_t cause, uint64_t addr) 
   }
 
   if (policy_ != nullptr) {
-    const PolicyDecision decision = policy_->OnFirmwareTrap(*this, hart.index(), cause, addr);
+    const PolicyDecision decision = policy_->OnFirmwareTrap(*this, hart.index(), trap);
     if (decision == PolicyDecision::kHandled) {
       return;
     }
@@ -444,65 +456,64 @@ bool Monitor::EmulateMprvAccess(Hart& hart, uint64_t cause, uint64_t addr) {
 // ---------------------------------------------------------------------------
 
 void Monitor::HandleOsTrap(Hart& hart) {
-  const uint64_t cause = hart.csrs().Get(kCsrMcause);
-  const uint64_t tval = hart.csrs().Get(kCsrMtval);
+  const TrapInfo trap = CurrentMachineTrap(hart);
 
-  if ((cause & kInterruptBit) != 0) {
+  if (trap.is_interrupt()) {
     if (policy_ != nullptr &&
-        policy_->OnInterrupt(*this, hart.index(), cause) == PolicyDecision::kHandled) {
+        policy_->OnInterrupt(*this, hart.index(), trap) == PolicyDecision::kHandled) {
       return;
     }
-    HandleMachineInterrupt(hart, cause);
+    HandleMachineInterrupt(hart, trap.cause);
     return;
   }
 
   if (policy_ != nullptr) {
-    const PolicyDecision decision = policy_->OnOsTrap(*this, hart.index(), cause, tval);
+    const PolicyDecision decision = policy_->OnOsTrap(*this, hart.index(), trap);
     if (decision == PolicyDecision::kHandled) {
       return;
     }
     if (decision == PolicyDecision::kDeny) {
-      DenyAction(hart, "OS trap", cause);
+      DenyAction(hart, "OS trap", trap.cause);
       return;
     }
   }
 
-  switch (static_cast<ExceptionCause>(cause)) {
+  switch (static_cast<ExceptionCause>(trap.cause)) {
     case ExceptionCause::kEcallFromS:
     case ExceptionCause::kEcallFromU:
     case ExceptionCause::kEcallFromVs:
       HandleOsEcall(hart);
       return;
     case ExceptionCause::kIllegalInstr: {
-      const DecodedInstr instr = Decode(static_cast<uint32_t>(tval));
+      const DecodedInstr instr = Decode(static_cast<uint32_t>(trap.tval));
       const bool time_read =
           (instr.op == Op::kCsrrs || instr.op == Op::kCsrrw || instr.op == Op::kCsrrc ||
            instr.op == Op::kCsrrsi || instr.op == Op::kCsrrci) &&
           instr.csr == kCsrTime;
       if (time_read) {
-        ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kTimeRead)];
+        RecordOsTrap(OsTrapCause::kTimeRead);
         if (OffloadAllowed(config_, OsTrapCause::kTimeRead) &&
             FastPathTimeRead(hart, instr)) {
           return;
         }
       } else {
-        ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kOther)];
+        RecordOsTrap(OsTrapCause::kOther);
       }
-      WorldSwitchToFirmware(hart, cause, tval);
+      WorldSwitchToFirmware(hart, trap);
       return;
     }
     case ExceptionCause::kLoadAddrMisaligned:
     case ExceptionCause::kStoreAddrMisaligned:
-      ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kMisaligned)];
+      RecordOsTrap(OsTrapCause::kMisaligned);
       if (OffloadAllowed(config_, OsTrapCause::kMisaligned) &&
-          EmulateMisalignedOs(hart, cause, tval)) {
+          EmulateMisalignedOs(hart, trap)) {
         return;
       }
-      WorldSwitchToFirmware(hart, cause, tval);
+      WorldSwitchToFirmware(hart, trap);
       return;
     default:
-      ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kOther)];
-      WorldSwitchToFirmware(hart, cause, tval);
+      RecordOsTrap(OsTrapCause::kOther);
+      WorldSwitchToFirmware(hart, trap);
       return;
   }
 }
@@ -518,21 +529,22 @@ void Monitor::HandleOsEcall(Hart& hart) {
   }
 
   if (ext == SbiExt::kTime && fid == SbiFunc::kSetTimer) {
-    ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kSetTimer)];
+    RecordOsTrap(OsTrapCause::kSetTimer);
   } else if (ext == SbiExt::kIpi) {
-    ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kIpi)];
+    RecordOsTrap(OsTrapCause::kIpi);
   } else if (ext == SbiExt::kRfence) {
-    ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kRemoteFence)];
+    RecordOsTrap(OsTrapCause::kRemoteFence);
   } else {
-    ++stats_.os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kOther)];
+    RecordOsTrap(OsTrapCause::kOther);
   }
 
   if (FastPathSbi(hart, ext, fid)) {
     return;
   }
-  const uint64_t cause = hart.csrs().Get(kCsrMcause);
   (void)hs;
-  WorldSwitchToFirmware(hart, cause, 0);
+  TrapInfo trap = CurrentMachineTrap(hart);
+  trap.tval = 0;  // ecalls carry no tval
+  WorldSwitchToFirmware(hart, trap);
 }
 
 bool Monitor::FastPathSbi(Hart& hart, uint64_t ext, uint64_t fid) {
@@ -620,14 +632,14 @@ bool Monitor::FastPathTimeRead(Hart& hart, const DecodedInstr& instr) {
   return true;
 }
 
-bool Monitor::EmulateMisalignedOs(Hart& hart, uint64_t cause, uint64_t addr) {
+bool Monitor::EmulateMisalignedOs(Hart& hart, const TrapInfo& trap) {
   CsrFile& pcsr = hart.csrs();
-  const PrivMode os_priv = static_cast<PrivMode>(
-      ExtractBits(pcsr.mstatus(), MstatusBits::kMppHi, MstatusBits::kMppLo));
+  const uint64_t addr = trap.tval;
+  const PrivMode os_priv = trap.priv;
   const uint64_t satp = pcsr.satp();
 
   uint64_t word = 0;
-  const Hart::MemResult fetch = hart.ReadMemoryAs(os_priv, satp, pcsr.mepc(), 4, &word);
+  const Hart::MemResult fetch = hart.ReadMemoryAs(os_priv, satp, trap.epc, 4, &word);
   if (!fetch.ok) {
     return false;
   }
@@ -636,7 +648,7 @@ bool Monitor::EmulateMisalignedOs(Hart& hart, uint64_t cause, uint64_t addr) {
   if (size == 0) {
     return false;
   }
-  const bool is_load = cause == CauseValue(ExceptionCause::kLoadAddrMisaligned);
+  const bool is_load = trap.cause == CauseValue(ExceptionCause::kLoadAddrMisaligned);
   if (is_load != IsLoadOp(instr.op)) {
     return false;
   }
@@ -702,7 +714,7 @@ void Monitor::HandleMachineInterrupt(Hart& hart, uint64_t cause) {
   // interrupt (a pending virtual M-level interrupt is never maskable from S/U).
   const std::optional<uint64_t> vint = hs.vctx.PendingVirtualMachineInterrupt();
   if (vint.has_value()) {
-    WorldSwitchToFirmware(hart, kNoInjectedTrap, 0);  // injected by ResumeFirmware
+    WorldSwitchToFirmware(hart, std::nullopt);  // injected by ResumeFirmware
     return;
   }
   ReturnToOs(hart, pcsr.mepc());
@@ -813,7 +825,7 @@ void Monitor::InstallVirtualContext(Hart& hart) {
   ChargeCsrAccesses(hart, 28);
 }
 
-void Monitor::WorldSwitchToFirmware(Hart& hart, uint64_t cause, uint64_t tval) {
+void Monitor::WorldSwitchToFirmware(Hart& hart, const std::optional<TrapInfo>& trap) {
   HartState& hs = state(hart);
   CsrFile& pcsr = hart.csrs();
   ++stats_.world_switches;
@@ -823,8 +835,8 @@ void Monitor::WorldSwitchToFirmware(Hart& hart, uint64_t cause, uint64_t tval) {
       ExtractBits(pcsr.mstatus(), MstatusBits::kMppHi, MstatusBits::kMppLo));
   hs.vctx.set_priv(os_priv);
   hs.vctx.set_pc(pcsr.mepc());
-  if (cause != kNoInjectedTrap) {
-    hs.vctx.TakeVirtualTrap(cause, tval);
+  if (trap.has_value()) {
+    hs.vctx.TakeVirtualTrap(trap->cause, trap->tval);
   }
 
   // The policy hook runs after the OS context is shadowed so it can scrub registers

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/core/trap_info.h"
 #include "src/core/vclint.h"
 #include "src/core/vcpu.h"
 #include "src/core/vpmp.h"
@@ -91,8 +93,10 @@ class Monitor : public MmodeOwner {
 
   const MonitorConfig& config() const { return config_; }
   Machine& machine() { return *machine_; }
+  // Statistics are read-only from the outside; the monitor owns every counter.
+  // Callers that want per-phase numbers snapshot stats() or call ResetStats().
   const MonitorStats& stats() const { return stats_; }
-  MonitorStats& mutable_stats() { return stats_; }
+  void ResetStats() { stats_ = MonitorStats{}; }
 
   VirtContext& vctx(unsigned hart) { return harts_[hart]->vctx; }
   VirtClint& vclint() { return vclint_; }
@@ -109,14 +113,18 @@ class Monitor : public MmodeOwner {
   void ReturnToOs(Hart& hart, uint64_t pc);
   // Applies the configured deny action (stop machine or log-and-continue).
   void DenyAction(Hart& hart, const char* what, uint64_t detail);
-  // Performs a world switch into the virtual firmware, injecting virtual trap
-  // `cause` (used for re-injection of OS traps, §4.1). Pass kNoInjectedTrap to switch
-  // without injecting an exception (pending virtual interrupts are still delivered).
-  static constexpr uint64_t kNoInjectedTrap = ~uint64_t{0};
-  void WorldSwitchToFirmware(Hart& hart, uint64_t cause, uint64_t tval);
+  // Performs a world switch into the virtual firmware, re-injecting `trap` as a
+  // virtual trap (§4.1). Pass nullopt to switch without injecting an exception
+  // (pending virtual interrupts are still delivered).
+  void WorldSwitchToFirmware(Hart& hart, const std::optional<TrapInfo>& trap);
   // Emulates a misaligned OS load/store through the page tables (exposed for the
   // sandbox policy, which implements misaligned emulation in-policy, §5.2).
-  bool EmulateMisalignedOs(Hart& hart, uint64_t cause, uint64_t addr);
+  bool EmulateMisalignedOs(Hart& hart, const TrapInfo& trap);
+  // Attributes one OS trap to its Figure-3 category (policies that consume a trap
+  // themselves use this to keep the statistics complete).
+  void RecordOsTrap(OsTrapCause cause) {
+    ++stats_.os_traps_by_cause[static_cast<unsigned>(cause)];
+  }
   // Emulates an MMIO access against the physical bus (register passthrough/filter,
   // §3.3). Decodes the faulting instruction and advances the firmware's pc.
   bool EmulateMmioPassthrough(Hart& hart, uint64_t addr);
@@ -140,7 +148,7 @@ class Monitor : public MmodeOwner {
   void HandleOsTrap(Hart& hart);
   void HandleMachineInterrupt(Hart& hart, uint64_t cause);
   void EmulateFirmwareInstr(Hart& hart);
-  void HandleFirmwareMemFault(Hart& hart, uint64_t cause, uint64_t addr);
+  void HandleFirmwareMemFault(Hart& hart, const TrapInfo& trap);
   bool EmulateVirtClintAccess(Hart& hart, uint64_t addr);
   bool EmulateMprvAccess(Hart& hart, uint64_t cause, uint64_t addr);
   void HandleOsEcall(Hart& hart);

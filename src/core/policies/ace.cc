@@ -224,17 +224,17 @@ PolicyDecision AcePolicy::OnOsEcall(Monitor& monitor, unsigned hart) {
   }
 }
 
-PolicyDecision AcePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                   uint64_t tval) {
+PolicyDecision AcePolicy::OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
   if (running_[hart] < 0) {
     return PolicyDecision::kPassThrough;
   }
-  if (cause == CauseValue(ExceptionCause::kEcallFromVs)) {
+  if (trap.cause == CauseValue(ExceptionCause::kEcallFromVs)) {
     return PolicyDecision::kPassThrough;  // handled in OnOsEcall
   }
   // Any other fault escaping the CVM terminates it.
   VFM_LOG_WARN("ace", "CVM fault on hart %u: cause=%llu tval=0x%llx", hart,
-               static_cast<unsigned long long>(cause), static_cast<unsigned long long>(tval));
+               static_cast<unsigned long long>(trap.cause),
+               static_cast<unsigned long long>(trap.tval));
   const unsigned id = static_cast<unsigned>(running_[hart]);
   LeaveCvm(monitor, hart, AceExitReason::kDone, static_cast<uint64_t>(SbiError::kFailed),
            /*resumable=*/false);
@@ -242,8 +242,8 @@ PolicyDecision AcePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cau
   return PolicyDecision::kHandled;
 }
 
-PolicyDecision AcePolicy::OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
-  (void)cause;
+PolicyDecision AcePolicy::OnInterrupt(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
+  (void)trap;
   if (running_[hart] < 0) {
     return PolicyDecision::kPassThrough;
   }

@@ -51,9 +51,8 @@ class AcePolicy : public PolicyModule {
   void OnInit(Monitor& monitor) override;
 
   PolicyDecision OnOsEcall(Monitor& monitor, unsigned hart) override;
-  PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                          uint64_t tval) override;
-  PolicyDecision OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) override;
+  PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) override;
+  PolicyDecision OnInterrupt(Monitor& monitor, unsigned hart, const TrapInfo& trap) override;
 
   PmpRegionRequest PolicySlot(unsigned hart) override;
   bool SuppressVpmp(unsigned hart) override;

@@ -245,8 +245,7 @@ PolicyDecision KeystonePolicy::OnOsEcall(Monitor& monitor, unsigned hart) {
   }
 }
 
-PolicyDecision KeystonePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                        uint64_t tval) {
+PolicyDecision KeystonePolicy::OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
   if (running_[hart] < 0) {
     return PolicyDecision::kPassThrough;
   }
@@ -254,12 +253,12 @@ PolicyDecision KeystonePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_
   // ecall to any foreign SBI extension is also terminal: letting it flow to the
   // firmware or the fast path would leak enclave register state.
   const bool foreign_ecall =
-      cause == CauseValue(ExceptionCause::kEcallFromU) &&
+      trap.cause == CauseValue(ExceptionCause::kEcallFromU) &&
       monitor.machine().hart(hart).gpr(kA7) != kKeystoneSbiExt;
-  if (cause != CauseValue(ExceptionCause::kEcallFromU) || foreign_ecall) {
+  if (trap.cause != CauseValue(ExceptionCause::kEcallFromU) || foreign_ecall) {
     VFM_LOG_WARN("keystone", "enclave fault on hart %u: cause=%llu tval=0x%llx", hart,
-                 static_cast<unsigned long long>(cause),
-                 static_cast<unsigned long long>(tval));
+                 static_cast<unsigned long long>(trap.cause),
+                 static_cast<unsigned long long>(trap.tval));
     const unsigned eid = static_cast<unsigned>(running_[hart]);
     LeaveEnclave(monitor, hart, KeystoneExitReason::kDone,
                  static_cast<uint64_t>(SbiError::kFailed), /*resumable=*/false);
@@ -269,8 +268,9 @@ PolicyDecision KeystonePolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_
   return PolicyDecision::kPassThrough;  // enclave ecalls flow through OnOsEcall
 }
 
-PolicyDecision KeystonePolicy::OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
-  (void)cause;
+PolicyDecision KeystonePolicy::OnInterrupt(Monitor& monitor, unsigned hart,
+                                           const TrapInfo& trap) {
+  (void)trap;
   if (running_[hart] < 0) {
     return PolicyDecision::kPassThrough;
   }

@@ -180,38 +180,37 @@ void SandboxPolicy::OnWorldSwitchToOs(Monitor& monitor, unsigned hart) {
   RestoreAfterFirmware(monitor, hart);
 }
 
-PolicyDecision SandboxPolicy::OnFirmwareTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                             uint64_t tval) {
-  if ((cause & kInterruptBit) != 0 || !IsMemFaultCause(cause)) {
+PolicyDecision SandboxPolicy::OnFirmwareTrap(Monitor& monitor, unsigned hart,
+                                             const TrapInfo& trap) {
+  if (trap.is_interrupt() || !IsMemFaultCause(trap.cause)) {
     return PolicyDecision::kPassThrough;
   }
   if (!locked_) {
     return PolicyDecision::kPassThrough;
   }
+  const uint64_t addr = trap.tval;
   // Documented platform resources may be granted explicitly; here the UART console.
-  if (config_.allow_uart && tval >= config_.uart_base &&
-      tval < config_.uart_base + config_.uart_size) {
-    if (monitor.EmulateMmioPassthrough(monitor.machine().hart(hart), tval)) {
+  if (config_.allow_uart && addr >= config_.uart_base &&
+      addr < config_.uart_base + config_.uart_size) {
+    if (monitor.EmulateMmioPassthrough(monitor.machine().hart(hart), addr)) {
       return PolicyDecision::kHandled;
     }
   }
   // Anything outside the firmware's own range is a sandbox violation.
-  if (tval >= config_.firmware_base && tval < config_.firmware_base + config_.firmware_size) {
+  if (addr >= config_.firmware_base && addr < config_.firmware_base + config_.firmware_size) {
     return PolicyDecision::kPassThrough;  // an architectural fault inside its own range
   }
   return PolicyDecision::kDeny;
 }
 
-PolicyDecision SandboxPolicy::OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                       uint64_t tval) {
+PolicyDecision SandboxPolicy::OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
   // The sandbox implements misaligned load/store emulation in-policy (§5.2), so the
   // firmware never needs OS register state for it.
-  if (cause == CauseValue(ExceptionCause::kLoadAddrMisaligned) ||
-      cause == CauseValue(ExceptionCause::kStoreAddrMisaligned)) {
+  if (trap.cause == CauseValue(ExceptionCause::kLoadAddrMisaligned) ||
+      trap.cause == CauseValue(ExceptionCause::kStoreAddrMisaligned)) {
     Hart& phys = monitor.machine().hart(hart);
-    monitor.mutable_stats()
-        .os_traps_by_cause[static_cast<unsigned>(OsTrapCause::kMisaligned)]++;
-    if (monitor.EmulateMisalignedOs(phys, cause, tval)) {
+    monitor.RecordOsTrap(OsTrapCause::kMisaligned);
+    if (monitor.EmulateMisalignedOs(phys, trap)) {
       return PolicyDecision::kHandled;
     }
   }

@@ -42,12 +42,10 @@ class SandboxPolicy : public PolicyModule {
   const char* name() const override { return "sandbox"; }
   void OnInit(Monitor& monitor) override;
 
-  PolicyDecision OnFirmwareTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                uint64_t tval) override;
+  PolicyDecision OnFirmwareTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) override;
   void OnWorldSwitchToFirmware(Monitor& monitor, unsigned hart) override;
   void OnWorldSwitchToOs(Monitor& monitor, unsigned hart) override;
-  PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                          uint64_t tval) override;
+  PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) override;
 
   std::optional<PmpRegionRequest> FirmwareDefaultOverride(unsigned hart) override;
 

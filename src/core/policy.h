@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/core/trap_info.h"
 #include "src/core/vpmp.h"
 
 namespace vfm {
@@ -39,12 +40,10 @@ class PolicyModule {
     (void)hart;
     return PolicyDecision::kPassThrough;
   }
-  virtual PolicyDecision OnFirmwareTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                        uint64_t tval) {
+  virtual PolicyDecision OnFirmwareTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
     (void)monitor;
     (void)hart;
-    (void)cause;
-    (void)tval;
+    (void)trap;
     return PolicyDecision::kPassThrough;
   }
   virtual void OnWorldSwitchToOs(Monitor& monitor, unsigned hart) {
@@ -56,22 +55,20 @@ class PolicyModule {
     (void)hart;
     return PolicyDecision::kPassThrough;
   }
-  virtual PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, uint64_t cause,
-                                  uint64_t tval) {
+  virtual PolicyDecision OnOsTrap(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
     (void)monitor;
     (void)hart;
-    (void)cause;
-    (void)tval;
+    (void)trap;
     return PolicyDecision::kPassThrough;
   }
   virtual void OnWorldSwitchToFirmware(Monitor& monitor, unsigned hart) {
     (void)monitor;
     (void)hart;
   }
-  virtual PolicyDecision OnInterrupt(Monitor& monitor, unsigned hart, uint64_t cause) {
+  virtual PolicyDecision OnInterrupt(Monitor& monitor, unsigned hart, const TrapInfo& trap) {
     (void)monitor;
     (void)hart;
-    (void)cause;
+    (void)trap;
     return PolicyDecision::kPassThrough;
   }
 

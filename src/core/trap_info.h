@@ -1,0 +1,28 @@
+// A snapshot of one architectural trap, threaded through the monitor's trap plumbing
+// and the policy-module hooks. Replaces the loose (cause, tval) pairs the early API
+// passed around: hooks and world-switch code need the faulting pc and the trapped
+// privilege as often as the cause, and bundling them makes it impossible to hand a
+// policy a cause without the context it was raised in.
+
+#ifndef SRC_CORE_TRAP_INFO_H_
+#define SRC_CORE_TRAP_INFO_H_
+
+#include <cstdint>
+
+#include "src/isa/priv.h"
+
+namespace vfm {
+
+struct TrapInfo {
+  uint64_t cause = 0;                    // mcause-style value (interrupt bit included)
+  uint64_t tval = 0;                     // faulting address / instruction encoding
+  uint64_t epc = 0;                      // pc of the trapped instruction (mepc)
+  PrivMode priv = PrivMode::kMachine;    // privilege the trap was taken from (MPP)
+
+  bool is_interrupt() const { return (cause & kInterruptBit) != 0; }
+  uint64_t code() const { return cause & ~kInterruptBit; }
+};
+
+}  // namespace vfm
+
+#endif  // SRC_CORE_TRAP_INFO_H_

@@ -6,7 +6,11 @@
 
 namespace vfm {
 
-Ram::Ram(uint64_t base, uint64_t size) : base_(base), size_(size), bytes_(size, 0) {}
+Ram::Ram(uint64_t base, uint64_t size)
+    : base_(base),
+      size_(size),
+      bytes_(size, 0),
+      exec_marks_((size + (uint64_t{1} << kPageShift) - 1) >> kPageShift, 0) {}
 
 Ram* Bus::AddRam(uint64_t base, uint64_t size) {
   VFM_CHECK_MSG(size > 0, "RAM region must be non-empty");
@@ -15,6 +19,12 @@ Ram* Bus::AddRam(uint64_t base, uint64_t size) {
     VFM_CHECK_MSG(!overlaps, "RAM regions overlap");
   }
   ram_.push_back(std::make_unique<Ram>(base, size));
+  if (ram_.size() == 1) {
+    ram0_base_ = base;
+    ram0_limit_ = size;
+    ram0_data_ = ram_.front()->data();
+    ram0_marks_ = ram_.front()->exec_marks();
+  }
   return ram_.back().get();
 }
 
@@ -41,7 +51,7 @@ const Bus::MmioWindow* Bus::FindMmio(uint64_t addr) const {
   return nullptr;
 }
 
-bool Bus::Read(uint64_t addr, unsigned size, uint64_t* value) {
+bool Bus::ReadSlow(uint64_t addr, unsigned size, uint64_t* value) {
   if (const Ram* region = FindRam(addr, size)) {
     uint64_t v = 0;
     std::memcpy(&v, region->data() + (addr - region->base()), size);
@@ -49,6 +59,7 @@ bool Bus::Read(uint64_t addr, unsigned size, uint64_t* value) {
     return true;
   }
   if (const MmioWindow* window = FindMmio(addr)) {
+    ++mmio_ops_;
     if (addr + size > window->base + window->size) {
       return false;
     }
@@ -57,13 +68,19 @@ bool Bus::Read(uint64_t addr, unsigned size, uint64_t* value) {
   return false;
 }
 
-bool Bus::Write(uint64_t addr, unsigned size, uint64_t value) {
+bool Bus::WriteSlow(uint64_t addr, unsigned size, uint64_t value) {
   if (const Ram* region = FindRam(addr, size)) {
     Ram* mutable_region = const_cast<Ram*>(region);
+    const uint64_t offset = addr - region->base();
+    if ((mutable_region->exec_marks()[offset >> Ram::kPageShift] |
+         mutable_region->exec_marks()[(offset + size - 1) >> Ram::kPageShift]) != 0) {
+      InvalidateExecPages();
+    }
     std::memcpy(mutable_region->data() + (addr - region->base()), &value, size);
     return true;
   }
   if (const MmioWindow* window = FindMmio(addr)) {
+    ++mmio_ops_;
     if (addr + size > window->base + window->size) {
       return false;
     }
@@ -87,10 +104,37 @@ bool Bus::WriteBytes(uint64_t addr, const void* data, uint64_t size) {
     return false;
   }
   Ram* mutable_region = const_cast<Ram*>(region);
+  if (any_exec_marks_) {
+    const uint64_t first = (addr - region->base()) >> Ram::kPageShift;
+    const uint64_t last = (addr - region->base() + size - 1) >> Ram::kPageShift;
+    for (uint64_t page = first; page <= last; ++page) {
+      if (mutable_region->exec_marks()[page] != 0) {
+        InvalidateExecPages();
+        break;
+      }
+    }
+  }
   std::memcpy(mutable_region->data() + (addr - region->base()), data, size);
   return true;
 }
 
 bool Bus::IsRam(uint64_t addr, uint64_t size) const { return FindRam(addr, size) != nullptr; }
+
+void Bus::MarkExecPage(uint64_t paddr) {
+  const Ram* region = FindRam(paddr, 1);
+  if (region == nullptr) {
+    return;
+  }
+  const_cast<Ram*>(region)->exec_marks()[(paddr - region->base()) >> Ram::kPageShift] = 1;
+  any_exec_marks_ = true;
+}
+
+void Bus::InvalidateExecPages() {
+  ++code_generation_;
+  any_exec_marks_ = false;
+  for (auto& region : ram_) {
+    std::memset(region->exec_marks(), 0, region->page_count());
+  }
+}
 
 }  // namespace vfm

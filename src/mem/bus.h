@@ -1,11 +1,21 @@
 // Physical memory bus: RAM regions plus MMIO device windows. The bus performs no
 // protection checks — PMP and paging live in the hart (src/sim) and the monitor; the
 // bus only routes physical accesses.
+//
+// Two interpreter-hot-path services live here (DESIGN.md §2b):
+//  - a RAM fast path: Read/Write are inlined bounds checks against the primary RAM
+//    region, falling back to the ordered region/window scan only for secondary
+//    regions and MMIO;
+//  - exec-page tracking for the harts' decoded-instruction caches: pages a cached
+//    fetch depends on (instruction bytes and the page-table entries that translated
+//    them) are marked, and any store into a marked page bumps `code_generation()`,
+//    invalidating every cached decode at once.
 
 #ifndef SRC_MEM_BUS_H_
 #define SRC_MEM_BUS_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +54,8 @@ class MmioDevice {
 // A contiguous RAM region.
 class Ram {
  public:
+  static constexpr uint64_t kPageShift = 12;
+
   Ram(uint64_t base, uint64_t size);
 
   uint64_t base() const { return base_; }
@@ -55,10 +67,15 @@ class Ram {
   uint8_t* data() { return bytes_.data(); }
   const uint8_t* data() const { return bytes_.data(); }
 
+  // Exec-page marks: one byte per 4 KiB page (see Bus::MarkExecPage).
+  uint8_t* exec_marks() { return exec_marks_.data(); }
+  uint64_t page_count() const { return exec_marks_.size(); }
+
  private:
   uint64_t base_;
   uint64_t size_;
   std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> exec_marks_;
 };
 
 // The physical bus: an ordered set of RAM regions and MMIO windows.
@@ -71,9 +88,31 @@ class Bus {
   void AddMmio(uint64_t base, uint64_t size, MmioDevice* device);
 
   // Physical read/write. Returns false for unmapped addresses or device-rejected
-  // accesses. Values are little-endian, zero-extended into *value.
-  bool Read(uint64_t addr, unsigned size, uint64_t* value);
-  bool Write(uint64_t addr, unsigned size, uint64_t value);
+  // accesses. Values are little-endian, zero-extended into *value. The common case
+  // (the primary RAM region) is a single bounds check and memcpy.
+  bool Read(uint64_t addr, unsigned size, uint64_t* value) {
+    const uint64_t offset = addr - ram0_base_;
+    if (offset < ram0_limit_ && offset + size <= ram0_limit_) {
+      uint64_t v = 0;
+      std::memcpy(&v, ram0_data_ + offset, size);
+      *value = v;
+      return true;
+    }
+    return ReadSlow(addr, size, value);
+  }
+  bool Write(uint64_t addr, unsigned size, uint64_t value) {
+    const uint64_t offset = addr - ram0_base_;
+    if (offset < ram0_limit_ && offset + size <= ram0_limit_) {
+      // Both end bytes checked: a misaligned store may cross into a marked page.
+      if ((ram0_marks_[offset >> Ram::kPageShift] |
+           ram0_marks_[(offset + size - 1) >> Ram::kPageShift]) != 0) {
+        InvalidateExecPages();
+      }
+      std::memcpy(ram0_data_ + offset, &value, size);
+      return true;
+    }
+    return WriteSlow(addr, size, value);
+  }
 
   // Bulk access to RAM (image loading, hashing, DMA). Fails if the range is not
   // entirely inside one RAM region.
@@ -82,6 +121,18 @@ class Bus {
 
   // True if [addr, addr+size) lies fully inside a single RAM region.
   bool IsRam(uint64_t addr, uint64_t size) const;
+
+  // -- Exec-page tracking (decoded-instruction cache invalidation). ----------------
+  // Marks the page containing `paddr` as one a cached decode depends on. Stores into
+  // marked pages bump code_generation() and clear all marks (the harts' caches
+  // re-mark on refill). Addresses outside RAM are ignored.
+  void MarkExecPage(uint64_t paddr);
+  uint64_t code_generation() const { return code_generation_; }
+
+  // Counts every access dispatched to an MMIO window (reads and writes, including
+  // rejected ones). The batched run loop uses this to detect device interaction,
+  // which ends a batch (src/sim/machine.cc).
+  uint64_t mmio_ops() const { return mmio_ops_; }
 
   // Returns the MMIO window covering addr, or nullptr. Used by the monitor to identify
   // which virtual device an intercepted access targets.
@@ -96,9 +147,23 @@ class Bus {
 
  private:
   const Ram* FindRam(uint64_t addr, uint64_t size) const;
+  bool ReadSlow(uint64_t addr, unsigned size, uint64_t* value);
+  bool WriteSlow(uint64_t addr, unsigned size, uint64_t value);
+  void InvalidateExecPages();
 
   std::vector<std::unique_ptr<Ram>> ram_;
   std::vector<MmioWindow> mmio_;
+
+  // Primary-region fast path: initialized to an empty range so the inline checks
+  // fail closed before any AddRam.
+  uint64_t ram0_base_ = ~uint64_t{0};
+  uint64_t ram0_limit_ = 0;  // == ram0 size; 0 until the first AddRam
+  uint8_t* ram0_data_ = nullptr;
+  uint8_t* ram0_marks_ = nullptr;
+
+  uint64_t code_generation_ = 0;
+  bool any_exec_marks_ = false;
+  uint64_t mmio_ops_ = 0;
 };
 
 }  // namespace vfm

@@ -94,6 +94,7 @@ void PmpBank::WriteCfgReg(unsigned reg_index, uint64_t value) {
     cfg_[entry] = LegalizePmpCfgByte(old_byte, static_cast<uint8_t>(value >> (8 * i)));
   }
   cache_valid_ = false;
+  ++generation_;
 }
 
 uint64_t PmpBank::ReadAddrReg(unsigned index) const {
@@ -121,6 +122,7 @@ void PmpBank::WriteAddrReg(unsigned index, uint64_t value) {
   }
   addr_[index] = value & kAddrMask;
   cache_valid_ = false;
+  ++generation_;
 }
 
 PmpCfg PmpBank::GetCfg(unsigned index) const {
@@ -132,6 +134,7 @@ void PmpBank::SetCfg(unsigned index, PmpCfg cfg) {
   VFM_DCHECK(index < entry_count_);
   cfg_[index] = cfg.ToByte();
   cache_valid_ = false;
+  ++generation_;
 }
 
 void PmpBank::RebuildCache() const {

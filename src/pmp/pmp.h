@@ -92,7 +92,15 @@ class PmpBank {
   PmpCfg GetCfg(unsigned index) const;
   void SetCfg(unsigned index, PmpCfg cfg);
   uint64_t GetAddr(unsigned index) const { return addr_[index]; }
-  void SetAddr(unsigned index, uint64_t value) { addr_[index] = value & kAddrMask; }
+  void SetAddr(unsigned index, uint64_t value) {
+    addr_[index] = value & kAddrMask;
+    cache_valid_ = false;
+    ++generation_;
+  }
+
+  // Monotonic counter bumped on every configuration change. The hart's decoded-
+  // instruction cache keys fetch-permission validity on it (src/sim/hart.h).
+  uint64_t generation() const { return generation_; }
 
   // The access check from the privileged spec: returns true if an access of `size`
   // bytes at `addr` by privilege `mode` is permitted. All bytes must lie within the
@@ -120,6 +128,7 @@ class PmpBank {
   void RebuildCache() const;
 
   unsigned entry_count_;
+  uint64_t generation_ = 0;
   uint8_t cfg_[kMaxEntries] = {};
   uint64_t addr_[kMaxEntries] = {};
   mutable CachedEntry cache_[kMaxEntries];

@@ -23,6 +23,19 @@ struct HartIsaConfig {
   uint64_t mimpid = 0;
 };
 
+// Host-side interpreter tuning. None of these affect simulated behaviour or cycle
+// accounting — they only trade host memory for host speed (DESIGN.md §2b).
+struct SimTuning {
+  // Entries in the per-hart decoded-instruction cache (direct-mapped, indexed by
+  // pc >> 2). Must be a power of two; 0 disables the cache entirely.
+  uint32_t decode_cache_entries = 16384;
+  // Upper bound on instructions executed per Hart::RunBatch call from the batched
+  // run loop (Machine::RunUntilFinished). Batches also end early at trap,
+  // interrupt-window (mtime tick), WFI, and MMIO boundaries, which is what keeps
+  // batched execution cycle-exact with the per-instruction loop.
+  uint32_t max_batch_instructions = 4096;
+};
+
 // Cycle-cost model. The simulator is not micro-architecturally accurate; these
 // parameters set the relative costs that the paper's measurements depend on (trap
 // round-trip cost, CSR access cost, memory cost), so each platform profile produces

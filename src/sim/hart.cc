@@ -31,8 +31,23 @@ bool IsStoreOp(Op op) { return op == Op::kSb || op == Op::kSh || op == Op::kSw |
 
 }  // namespace
 
-Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost)
-    : index_(index), bus_(bus), cost_(cost), csrs_(isa, index) {}
+Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost,
+           const SimTuning& tuning)
+    : index_(index), bus_(bus), cost_(cost), csrs_(isa, index) {
+  uint64_t entries = tuning.decode_cache_entries;
+  if (entries != 0) {
+    // Round up to a power of two so the index is a mask.
+    while ((entries & (entries - 1)) != 0) {
+      entries += entries & -entries;
+    }
+    icache_.resize(entries);
+    icache_mask_ = entries - 1;
+  }
+}
+
+uint64_t Hart::cache_stamp() const {
+  return bus_->code_generation() + csrs_.pmp().generation() + fence_gen_;
+}
 
 PrivMode Hart::DataPriv() const {
   const uint64_t mstatus = csrs_.mstatus();
@@ -74,6 +89,10 @@ Hart::AccessOutcome Hart::Translate(uint64_t vaddr, unsigned size, AccessType ty
   }
   out.ok = true;
   out.paddr = tr.paddr;
+  out.pte_count = tr.pte_count;
+  for (unsigned i = 0; i < tr.pte_count; ++i) {
+    out.pte_addrs[i] = tr.pte_addrs[i];
+  }
   return out;
 }
 
@@ -359,6 +378,29 @@ StepResult Hart::Tick() {
   if (!IsAligned(pc_, 4)) {
     return TakeTrap(CauseValue(ExceptionCause::kInstrAddrMisaligned), pc_);
   }
+
+  // Decoded-instruction cache lookup. A hit replays a previous fetch of this pc: the
+  // stamp proves no store touched the instruction bytes or the page tables that
+  // translated them (and no PMP write or fence.i happened), and the satp/priv/virt
+  // compare proves the translation context is the one the entry was filled under.
+  // Fetch translation depends on nothing else: mstatus.SUM/MXR only affect data
+  // accesses, and MPRV never applies to fetches.
+  if (icache_mask_ != 0) {
+    const uint64_t effective_satp = virt_ ? csrs_.vsatp() : csrs_.satp();
+    FetchEntry& entry = icache_[(pc_ >> 2) & icache_mask_];
+    if (entry.tag == pc_ && entry.stamp == cache_stamp() && entry.satp == effective_satp &&
+        entry.priv == static_cast<uint8_t>(priv_) && entry.virt == virt_) {
+      ++icache_hits_;
+      StepResult result = Execute(entry.instr);
+      result.cycles += entry.extra_cycles;  // the original fetch's page-walk cost
+      if (!result.trapped) {
+        csrs_.AddInstret(1);
+      }
+      csrs_.AddCycles(result.cycles);
+      return result;
+    }
+  }
+
   const AccessOutcome fetch = Translate(pc_, 4, AccessType::kFetch, priv_, virt_);
   if (!fetch.ok) {
     return TakeTrap(CauseValue(fetch.cause), pc_);
@@ -369,6 +411,28 @@ StepResult Hart::Tick() {
   }
 
   const DecodedInstr instr = Decode(static_cast<uint32_t>(word));
+
+  // Fill the cache and mark every page this decode depends on: the instruction bytes
+  // (4-byte-aligned, so one page) and the PTEs the walk read. The stamp is taken
+  // AFTER the translate — the walk's A/D update may itself have stored into a marked
+  // page and bumped the code generation. Only RAM-backed fetches are cached; an
+  // instruction fetched from a device has no stable bytes to validate.
+  if (icache_mask_ != 0 && bus_->IsRam(fetch.paddr, 4)) {
+    ++icache_misses_;
+    bus_->MarkExecPage(fetch.paddr);
+    for (unsigned i = 0; i < fetch.pte_count; ++i) {
+      bus_->MarkExecPage(fetch.pte_addrs[i]);
+    }
+    FetchEntry& entry = icache_[(pc_ >> 2) & icache_mask_];
+    entry.tag = pc_;
+    entry.stamp = cache_stamp();
+    entry.satp = virt_ ? csrs_.vsatp() : csrs_.satp();
+    entry.extra_cycles = fetch.extra_cycles;
+    entry.instr = instr;
+    entry.priv = static_cast<uint8_t>(priv_);
+    entry.virt = virt_;
+  }
+
   StepResult result = Execute(instr);
   result.cycles += fetch.extra_cycles;
   if (!result.trapped) {
@@ -376,6 +440,19 @@ StepResult Hart::Tick() {
   }
   csrs_.AddCycles(result.cycles);
   return result;
+}
+
+Hart::BatchResult Hart::RunBatch(uint64_t max_steps, uint64_t stop_cycles) {
+  BatchResult batch;
+  const uint64_t mmio_start = bus_->mmio_ops();
+  while (true) {
+    batch.last = Tick();
+    ++batch.executed;
+    if (batch.last.trapped || batch.last.waiting || batch.executed >= max_steps ||
+        csrs_.mcycle() >= stop_cycles || bus_->mmio_ops() != mmio_start) {
+      return batch;
+    }
+  }
 }
 
 StepResult Hart::Execute(const DecodedInstr& d) {
@@ -626,6 +703,7 @@ StepResult Hart::Execute(const DecodedInstr& d) {
     case Op::kFence:
       return Retire(next, base_cost);
     case Op::kFenceI:
+      ++fence_gen_;  // invalidates this hart's decoded-instruction cache
       return Retire(next, base_cost + cost_->tlb_flush / 4);
 
     case Op::kEcall: {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/isa/instr.h"
 #include "src/isa/priv.h"
@@ -31,7 +32,8 @@ struct StepResult {
 
 class Hart {
  public:
-  Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost);
+  Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost,
+       const SimTuning& tuning = SimTuning{});
 
   unsigned index() const { return index_; }
 
@@ -59,6 +61,18 @@ class Hart {
   // Runs one tick: takes a pending enabled interrupt if any, else executes one
   // instruction (or stays parked in WFI).
   StepResult Tick();
+
+  // Runs up to `max_steps` ticks as a batch. The batch ends early — after the tick
+  // that caused it — on a trap, WFI parking, any MMIO access, or the hart's cycle
+  // counter reaching `stop_cycles` (the next mtime-tick boundary). These boundaries
+  // are exactly the points where the machine loop must run between instructions
+  // (interrupt-line refresh, mtime advance, device ticks, trap delivery), which makes
+  // batched execution cycle- and behaviour-identical to per-instruction stepping.
+  struct BatchResult {
+    uint64_t executed = 0;  // ticks run, including the final one
+    StepResult last;        // result of the final tick
+  };
+  BatchResult RunBatch(uint64_t max_steps, uint64_t stop_cycles);
 
   // Takes a trap architecturally (updates status stacks, vectors the pc). Exposed for
   // the machine (interrupt injection) and tests.
@@ -96,6 +110,11 @@ class Hart {
   // Total traps taken, by flavor (for Figure 3-style statistics).
   uint64_t traps_taken() const { return traps_taken_; }
 
+  // Decoded-instruction cache counters (DESIGN.md §2b). A hit means fetch
+  // translation, PMP check, and decode were all skipped for that tick.
+  uint64_t decode_cache_hits() const { return icache_hits_; }
+  uint64_t decode_cache_misses() const { return icache_misses_; }
+
   // Clears any load reservation (the monitor does this on world switches).
   void ClearReservation() { reservation_.reset(); }
 
@@ -105,7 +124,30 @@ class Hart {
     uint64_t paddr = 0;
     ExceptionCause cause = ExceptionCause::kLoadAccessFault;
     uint64_t extra_cycles = 0;
+    // PTE addresses the translation read (for exec-page marking on fetches).
+    uint64_t pte_addrs[3] = {};
+    unsigned pte_count = 0;
   };
+
+  // One slot of the decoded-instruction cache: a pre-decoded instruction plus
+  // everything needed to prove the original fetch is still valid. An entry hits only
+  // when the tag (virtual pc), translation context (satp/priv/virt), and generation
+  // stamp all match; `extra_cycles` replays the page-walk cost of the original fetch
+  // so cached execution charges exactly the cycles the slow path would.
+  struct FetchEntry {
+    uint64_t tag = ~uint64_t{0};  // virtual pc; ~0 is never a valid (aligned) pc
+    uint64_t stamp = 0;           // cache_stamp() at fill time
+    uint64_t satp = 0;            // effective satp (vsatp when virtualized) at fill
+    uint64_t extra_cycles = 0;    // page-walk cycles of the original fetch
+    DecodedInstr instr;
+    uint8_t priv = 0;
+    bool virt = false;
+  };
+
+  // Sum of the three monotonic invalidation counters: stores into exec-marked pages
+  // (bus), physical PMP reconfiguration, and local fence.i. Each counter only grows,
+  // so the sum only grows and a single equality compare validates all three.
+  uint64_t cache_stamp() const;
 
   // Effective privilege for data accesses (honors mstatus.MPRV).
   PrivMode DataPriv() const;
@@ -134,6 +176,14 @@ class Hart {
   bool waiting_ = false;
   std::optional<uint64_t> reservation_;
   uint64_t traps_taken_ = 0;
+
+  // Decoded-instruction cache (direct-mapped, indexed by pc >> 2). Empty when the
+  // cache is disabled; icache_mask_ == 0 doubles as the "disabled" flag.
+  std::vector<FetchEntry> icache_;
+  uint64_t icache_mask_ = 0;
+  uint64_t fence_gen_ = 0;  // bumped by fence.i
+  uint64_t icache_hits_ = 0;
+  uint64_t icache_misses_ = 0;
 };
 
 }  // namespace vfm

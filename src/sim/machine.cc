@@ -52,7 +52,7 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
   }
 
   for (unsigned i = 0; i < config_.hart_count; ++i) {
-    harts_.push_back(std::make_unique<Hart>(i, &bus_, config_.isa, &config_.cost));
+    harts_.push_back(std::make_unique<Hart>(i, &bus_, config_.isa, &config_.cost, config_.tuning));
     Clint* clint = clint_.get();
     harts_.back()->csrs().set_time_source([clint] { return clint->mtime(); });
     harts_.back()->set_pc(config_.map.ram_base);
@@ -97,7 +97,62 @@ void Machine::StepAll() {
 }
 
 bool Machine::RunUntilFinished(uint64_t max_instructions) {
-  return RunUntil([] { return false; }, max_instructions);
+  // Multi-hart machines interleave per-instruction (harts observe each other's
+  // stores and IPIs round by round); batching is a single-hart optimization.
+  if (hart_count() != 1) {
+    return RunUntil([] { return false; }, max_instructions);
+  }
+  Hart& hart = *harts_[0];
+  const uint64_t start = hart.instret();
+  const uint64_t max_batch =
+      config_.tuning.max_batch_instructions > 0 ? config_.tuning.max_batch_instructions : 1;
+  uint64_t rounds = 0;
+  while (!finisher_->finished()) {
+    RefreshInterruptLines();
+    // Batch size: the configured cap, clamped so the batch cannot overshoot either
+    // the instruction budget or the round bound (a batch tick == one StepAll round).
+    uint64_t n = max_batch;
+    const uint64_t instret_left = max_instructions - (hart.instret() - start);
+    const uint64_t rounds_left = 4 * max_instructions - rounds;
+    n = n < instret_left ? n : instret_left;
+    n = n < rounds_left ? n : rounds_left;
+    if (n == 0) {
+      n = 1;  // budget of zero: still run one round, like RunUntil does
+    }
+    // While the block device has a request in flight it may complete on any mtime
+    // tick, so fall back to single-instruction rounds until it goes idle.
+    if (blockdev_ && blockdev_->busy()) {
+      n = 1;
+    }
+    // Stop at the next timebase tick so mtime (and MTIP) can advance between
+    // instructions exactly as in per-instruction stepping.
+    const uint64_t stop_cycles = (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
+    const Hart::BatchResult batch = hart.RunBatch(n, stop_cycles);
+    rounds += batch.executed;
+    if (batch.last.trapped) {
+      if (trap_observer_) {
+        trap_observer_(hart, batch.last);
+      }
+      if (batch.last.entered_mmode && owner_ != nullptr) {
+        owner_->OnMachineTrap(hart);
+      }
+    }
+    const uint64_t now = hart.cycles();
+    const uint64_t ticks_due = now / config_.cost.mtime_tick_cycles;
+    if (ticks_due > clint_->mtime()) {
+      clint_->set_mtime(ticks_due);
+    }
+    if (blockdev_) {
+      blockdev_->Tick(clint_->mtime());
+    }
+    if (hart.instret() - start >= max_instructions || rounds >= 4 * max_instructions) {
+      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                   static_cast<unsigned long long>(max_instructions),
+                   hart.waiting() ? "all harts idle" : "harts still running");
+      return false;
+    }
+  }
+  return true;
 }
 
 bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions) {

@@ -46,6 +46,7 @@ struct MachineConfig {
   unsigned hart_count = 1;
   HartIsaConfig isa;
   CostModel cost;
+  SimTuning tuning;  // host-side speed knobs; no effect on simulated behaviour
   MemoryMap map;
   bool with_blockdev = false;
   uint64_t blockdev_sectors = 16384;
@@ -101,6 +102,9 @@ class Machine {
 
   // Runs until the finisher fires or `max_instructions` retire (across all harts).
   // Returns true if the machine finished (as opposed to hitting the budget).
+  // Single-hart machines run batched (Hart::RunBatch): device/timer bookkeeping runs
+  // only at batch boundaries, which RunBatch's stop conditions make behaviour- and
+  // cycle-identical to per-instruction StepAll rounds.
   bool RunUntilFinished(uint64_t max_instructions);
 
   // Runs until `predicate` returns true, the finisher fires, or the budget runs out.

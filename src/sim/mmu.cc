@@ -63,6 +63,7 @@ TranslateResult TranslateSv39(Bus* bus, const PmpBank& pmp, const TranslateParam
     ++result.walk_levels;
     const uint64_t vpn = ExtractBits(vaddr, 12 + 9 * level + 8, 12 + 9 * level);
     const uint64_t pte_addr = table + vpn * 8;
+    result.pte_addrs[result.pte_count++] = pte_addr;
     if (!pmp.Check(pte_addr, 8, AccessType::kLoad, PrivMode::kSupervisor)) {
       result.fault = AccessFaultFor(type);
       return result;

@@ -38,6 +38,11 @@ struct TranslateResult {
   uint64_t paddr = 0;
   ExceptionCause fault = ExceptionCause::kLoadPageFault;  // valid when !ok
   unsigned walk_levels = 0;                               // cost accounting
+  // Physical addresses of the PTEs read during the walk. The decoded-instruction
+  // cache marks these pages so that a later store into a page table invalidates any
+  // decode whose fetch translation it produced (src/sim/hart.cc).
+  uint64_t pte_addrs[3] = {};
+  unsigned pte_count = 0;
 };
 
 // Translates `vaddr` for an access of type `type`. Returns a page fault (of the

@@ -216,5 +216,51 @@ TEST(SimEdgeTest, InstretCountsRetiredOnly) {
   EXPECT_EQ(run.hart().gpr(s3) - run.hart().gpr(s2), 11u);
 }
 
+TEST(SimEdgeTest, SelfModifyingGuestCodeInvalidatesDecodeCache) {
+  // The patch site executes twice: first its original form (s2 = 1), then — after the
+  // guest stores a new instruction word over it — the patched form (s2 = 2). A stale
+  // decoded-instruction cache entry would replay the original and leave s2 == 1.
+  BareRun run([](Assembler& a) {
+    a.La(t0, "patch");
+    a.Bind("patch");
+    a.Addi(s2, zero, 1);  // overwritten below with addi s2, zero, 2
+    a.Bnez(s3, "done");
+    a.Li(s3, 1);
+    a.Li(t1, 0x00200913);  // addi s2, zero, 2
+    a.Sw(t1, t0, 0);
+    a.J("patch");
+    a.Bind("done");
+  });
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.hart().gpr(s2), 2u);
+}
+
+TEST(SimEdgeTest, LoadImageOverExecutedCodeInvalidatesDecodeCache) {
+  MachineConfig config;
+  Machine machine(config);
+  Hart& hart = machine.hart(0);
+
+  const auto build = [](uint64_t value) {
+    Assembler a(0x8000'0000);
+    a.Li(s2, value);
+    a.Bind("hang");
+    a.J("hang");
+    return std::move(a.Finish()).value();
+  };
+
+  Image first = build(1);
+  machine.LoadImage(first.base, first.bytes);
+  hart.set_pc(first.entry);
+  ASSERT_TRUE(machine.RunUntil([&] { return hart.gpr(s2) == 1; }, 10'000));
+
+  // Re-load a different program over the range that just executed (a bootloader
+  // re-loading a payload). The cached decodes for the old bytes must be dropped.
+  Image second = build(2);
+  machine.LoadImage(second.base, second.bytes);
+  hart.set_pc(second.entry);
+  ASSERT_TRUE(machine.RunUntil([&] { return hart.gpr(s2) == 2; }, 10'000));
+  EXPECT_EQ(hart.gpr(s2), 2u);
+}
+
 }  // namespace
 }  // namespace vfm

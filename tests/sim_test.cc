@@ -368,6 +368,49 @@ TEST_F(MmuTest, MisalignedSuperpageFaults) {
   EXPECT_FALSE(TranslateSv39(&bus_, pmp_, params_, 0x8000'0000ull, AccessType::kLoad).ok);
 }
 
+// -- Decoded-instruction cache invalidation (DESIGN.md §2b). ------------------------
+
+TEST_F(SimTest, DecodeCacheHitsOnReexecution) {
+  hart_->set_pc(kRam);
+  machine_->bus().Write(kRam, 4, 0x00100293);  // addi t0, zero, 1
+  hart_->Tick();
+  EXPECT_EQ(hart_->decode_cache_misses(), 1u);
+  EXPECT_EQ(hart_->decode_cache_hits(), 0u);
+  hart_->set_pc(kRam);
+  hart_->Tick();
+  EXPECT_EQ(hart_->decode_cache_misses(), 1u);
+  EXPECT_EQ(hart_->decode_cache_hits(), 1u);
+  EXPECT_EQ(hart_->gpr(5), 1u);
+}
+
+TEST_F(SimTest, StoreIntoExecutedPageInvalidatesDecodeCache) {
+  hart_->set_pc(kRam);
+  Exec(0x00100293);  // addi t0, zero, 1 — executed, so its page is now tracked
+  EXPECT_EQ(hart_->gpr(5), 1u);
+  // Overwrite the same location and re-execute: the stale decode must not be used.
+  hart_->set_pc(kRam);
+  Exec(0x00200293);  // addi t0, zero, 2
+  EXPECT_EQ(hart_->gpr(5), 2u);
+  EXPECT_EQ(hart_->decode_cache_hits(), 0u);  // both executions were misses
+  EXPECT_EQ(hart_->decode_cache_misses(), 2u);
+}
+
+TEST_F(SimTest, FenceIInvalidatesDecodeCache) {
+  machine_->bus().Write(kRam, 4, 0x00100293);      // addi t0, zero, 1
+  machine_->bus().Write(kRam + 4, 4, 0x0000100F);  // fence.i
+  hart_->set_pc(kRam);
+  hart_->Tick();  // addi: miss, fill
+  hart_->Tick();  // fence.i: bumps the local generation
+  const uint64_t hits_before = hart_->decode_cache_hits();
+  hart_->set_pc(kRam);
+  hart_->Tick();  // the cached addi entry is stale now: must miss and refill
+  EXPECT_EQ(hart_->decode_cache_hits(), hits_before);
+  // The refilled entry is valid again: the next re-execution hits.
+  hart_->set_pc(kRam);
+  hart_->Tick();
+  EXPECT_EQ(hart_->decode_cache_hits(), hits_before + 1);
+}
+
 TEST_F(MmuTest, MxrMakesExecutableReadable) {
   // Map an X-only user page at L0[4].
   bus_.Write(kRam + 0x2000 + 8 * 4, 8, (((kRam + 0x6000) >> 12) << 10) | 0xD9);  // V X A D, U
