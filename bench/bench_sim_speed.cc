@@ -109,6 +109,8 @@ void WriteSimSpeedJson() {
   const uint64_t start_instret = system.machine->total_instret();
   const uint64_t start_hits = hart.decode_cache_hits();
   const uint64_t start_misses = hart.decode_cache_misses();
+  const uint64_t start_tlb_hits = hart.tlb_hits();
+  const uint64_t start_tlb_misses = hart.tlb_misses();
   constexpr uint64_t kMeasured = 20'000'000;
   const auto t0 = std::chrono::steady_clock::now();
   system.machine->RunUntilFinished(kMeasured);
@@ -119,6 +121,8 @@ void WriteSimSpeedJson() {
   const uint64_t hits = hart.decode_cache_hits() - start_hits;
   const uint64_t misses = hart.decode_cache_misses() - start_misses;
   const uint64_t lookups = hits + misses;
+  const uint64_t tlb_hits = hart.tlb_hits() - start_tlb_hits;
+  const uint64_t tlb_lookups = tlb_hits + (hart.tlb_misses() - start_tlb_misses);
 
   JsonResultWriter json("sim_speed");
   json.Add("instructions_retired", static_cast<double>(instructions));
@@ -126,6 +130,9 @@ void WriteSimSpeedJson() {
   json.Add("mips", seconds > 0 ? static_cast<double>(instructions) / seconds / 1e6 : 0.0);
   json.Add("decode_cache_hit_rate",
            lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0);
+  json.Add("tlb_hit_rate",
+           tlb_lookups > 0 ? static_cast<double>(tlb_hits) / static_cast<double>(tlb_lookups)
+                           : 0.0);
   const char* path = "BENCH_sim_speed.json";
   if (json.WriteTo(path)) {
     std::printf("wrote %s (%.1f MIPS)\n", path,

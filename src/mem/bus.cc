@@ -10,7 +10,7 @@ Ram::Ram(uint64_t base, uint64_t size)
     : base_(base),
       size_(size),
       bytes_(size, 0),
-      exec_marks_((size + (uint64_t{1} << kPageShift) - 1) >> kPageShift, 0) {}
+      page_marks_((size + (uint64_t{1} << kPageShift) - 1) >> kPageShift, 0) {}
 
 Ram* Bus::AddRam(uint64_t base, uint64_t size) {
   VFM_CHECK_MSG(size > 0, "RAM region must be non-empty");
@@ -23,7 +23,7 @@ Ram* Bus::AddRam(uint64_t base, uint64_t size) {
     ram0_base_ = base;
     ram0_limit_ = size;
     ram0_data_ = ram_.front()->data();
-    ram0_marks_ = ram_.front()->exec_marks();
+    ram0_marks_ = ram_.front()->page_marks();
   }
   return ram_.back().get();
 }
@@ -72,9 +72,11 @@ bool Bus::WriteSlow(uint64_t addr, unsigned size, uint64_t value) {
   if (const Ram* region = FindRam(addr, size)) {
     Ram* mutable_region = const_cast<Ram*>(region);
     const uint64_t offset = addr - region->base();
-    if ((mutable_region->exec_marks()[offset >> Ram::kPageShift] |
-         mutable_region->exec_marks()[(offset + size - 1) >> Ram::kPageShift]) != 0) {
-      InvalidateExecPages();
+    const uint8_t marks = static_cast<uint8_t>(
+        mutable_region->page_marks()[offset >> Ram::kPageShift] |
+        mutable_region->page_marks()[(offset + size - 1) >> Ram::kPageShift]);
+    if (marks != 0) {
+      InvalidateMarkedPages(marks);
     }
     std::memcpy(mutable_region->data() + (addr - region->base()), &value, size);
     return true;
@@ -104,14 +106,15 @@ bool Bus::WriteBytes(uint64_t addr, const void* data, uint64_t size) {
     return false;
   }
   Ram* mutable_region = const_cast<Ram*>(region);
-  if (any_exec_marks_) {
+  if (any_marks_) {
     const uint64_t first = (addr - region->base()) >> Ram::kPageShift;
     const uint64_t last = (addr - region->base() + size - 1) >> Ram::kPageShift;
+    uint8_t marks = 0;
     for (uint64_t page = first; page <= last; ++page) {
-      if (mutable_region->exec_marks()[page] != 0) {
-        InvalidateExecPages();
-        break;
-      }
+      marks |= mutable_region->page_marks()[page];
+    }
+    if (marks != 0) {
+      InvalidateMarkedPages(marks);
     }
   }
   std::memcpy(mutable_region->data() + (addr - region->base()), data, size);
@@ -125,16 +128,39 @@ void Bus::MarkExecPage(uint64_t paddr) {
   if (region == nullptr) {
     return;
   }
-  const_cast<Ram*>(region)->exec_marks()[(paddr - region->base()) >> Ram::kPageShift] = 1;
-  any_exec_marks_ = true;
+  const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift] |= kExecMark;
+  any_marks_ = true;
 }
 
-void Bus::InvalidateExecPages() {
-  ++code_generation_;
-  any_exec_marks_ = false;
-  for (auto& region : ram_) {
-    std::memset(region->exec_marks(), 0, region->page_count());
+bool Bus::MarkPtPage(uint64_t paddr) {
+  const Ram* region = FindRam(paddr, 1);
+  if (region == nullptr) {
+    return false;
   }
+  const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift] |= kPtMark;
+  any_marks_ = true;
+  return true;
+}
+
+void Bus::InvalidateMarkedPages(uint8_t marks) {
+  if ((marks & kExecMark) != 0) {
+    ++code_generation_;
+  }
+  if ((marks & kPtMark) != 0) {
+    ++pt_generation_;
+  }
+  // Clear only the invalidated classes; other classes' marks stay live.
+  const uint8_t keep = static_cast<uint8_t>(~marks);
+  bool any = false;
+  for (auto& region : ram_) {
+    uint8_t* page_marks = region->page_marks();
+    const uint64_t count = region->page_count();
+    for (uint64_t i = 0; i < count; ++i) {
+      page_marks[i] &= keep;
+      any |= page_marks[i] != 0;
+    }
+  }
+  any_marks_ = any;
 }
 
 }  // namespace vfm

@@ -2,14 +2,17 @@
 // protection checks — PMP and paging live in the hart (src/sim) and the monitor; the
 // bus only routes physical accesses.
 //
-// Two interpreter-hot-path services live here (DESIGN.md §2b):
+// Two interpreter-hot-path services live here (DESIGN.md §2b/§2c):
 //  - a RAM fast path: Read/Write are inlined bounds checks against the primary RAM
 //    region, falling back to the ordered region/window scan only for secondary
 //    regions and MMIO;
-//  - exec-page tracking for the harts' decoded-instruction caches: pages a cached
-//    fetch depends on (instruction bytes and the page-table entries that translated
-//    them) are marked, and any store into a marked page bumps `code_generation()`,
-//    invalidating every cached decode at once.
+//  - dependency-page tracking for the harts' translation-layer caches: each 4 KiB RAM
+//    page carries a mark bitmask recording which cache classes depend on its bytes —
+//    exec marks (decoded-instruction cache: instruction bytes and the PTEs a cached
+//    fetch walk read) and page-table marks (software TLB: every PTE page a cached
+//    translation read). A store into a marked page bumps the matching generation
+//    counter(s) (`code_generation()` / `pt_generation()`), invalidating every
+//    dependent cache entry at once; caches re-mark as they refill.
 
 #ifndef SRC_MEM_BUS_H_
 #define SRC_MEM_BUS_H_
@@ -67,20 +70,26 @@ class Ram {
   uint8_t* data() { return bytes_.data(); }
   const uint8_t* data() const { return bytes_.data(); }
 
-  // Exec-page marks: one byte per 4 KiB page (see Bus::MarkExecPage).
-  uint8_t* exec_marks() { return exec_marks_.data(); }
-  uint64_t page_count() const { return exec_marks_.size(); }
+  // Dependency-page marks: one bitmask byte per 4 KiB page (see Bus::MarkExecPage /
+  // Bus::MarkPtPage).
+  uint8_t* page_marks() { return page_marks_.data(); }
+  uint64_t page_count() const { return page_marks_.size(); }
 
  private:
   uint64_t base_;
   uint64_t size_;
   std::vector<uint8_t> bytes_;
-  std::vector<uint8_t> exec_marks_;
+  std::vector<uint8_t> page_marks_;
 };
 
 // The physical bus: an ordered set of RAM regions and MMIO windows.
 class Bus {
  public:
+  // Mark classes in a page's mark byte. Exec marks back the decoded-instruction
+  // caches; PT marks back the software TLBs (src/sim/hart.h).
+  static constexpr uint8_t kExecMark = 1 << 0;
+  static constexpr uint8_t kPtMark = 1 << 1;
+
   // Adds a RAM region. Regions must not overlap.
   Ram* AddRam(uint64_t base, uint64_t size);
 
@@ -104,9 +113,11 @@ class Bus {
     const uint64_t offset = addr - ram0_base_;
     if (offset < ram0_limit_ && offset + size <= ram0_limit_) {
       // Both end bytes checked: a misaligned store may cross into a marked page.
-      if ((ram0_marks_[offset >> Ram::kPageShift] |
-           ram0_marks_[(offset + size - 1) >> Ram::kPageShift]) != 0) {
-        InvalidateExecPages();
+      const uint8_t marks =
+          static_cast<uint8_t>(ram0_marks_[offset >> Ram::kPageShift] |
+                               ram0_marks_[(offset + size - 1) >> Ram::kPageShift]);
+      if (marks != 0) {
+        InvalidateMarkedPages(marks);
       }
       std::memcpy(ram0_data_ + offset, &value, size);
       return true;
@@ -122,12 +133,18 @@ class Bus {
   // True if [addr, addr+size) lies fully inside a single RAM region.
   bool IsRam(uint64_t addr, uint64_t size) const;
 
-  // -- Exec-page tracking (decoded-instruction cache invalidation). ----------------
+  // -- Dependency-page tracking (cache invalidation). -------------------------------
   // Marks the page containing `paddr` as one a cached decode depends on. Stores into
-  // marked pages bump code_generation() and clear all marks (the harts' caches
-  // re-mark on refill). Addresses outside RAM are ignored.
+  // exec-marked pages bump code_generation() and clear all exec marks (the harts'
+  // caches re-mark on refill). Addresses outside RAM are ignored.
   void MarkExecPage(uint64_t paddr);
+  // Marks the page containing `paddr` as holding page-table entries a cached
+  // translation read. Stores into PT-marked pages bump pt_generation() and clear all
+  // PT marks. Returns false if the page is not RAM-backed (and therefore cannot be
+  // tracked): the caller must not cache a translation whose PTEs it cannot watch.
+  bool MarkPtPage(uint64_t paddr);
   uint64_t code_generation() const { return code_generation_; }
+  uint64_t pt_generation() const { return pt_generation_; }
 
   // Counts every access dispatched to an MMIO window (reads and writes, including
   // rejected ones). The batched run loop uses this to detect device interaction,
@@ -149,7 +166,9 @@ class Bus {
   const Ram* FindRam(uint64_t addr, uint64_t size) const;
   bool ReadSlow(uint64_t addr, unsigned size, uint64_t* value);
   bool WriteSlow(uint64_t addr, unsigned size, uint64_t value);
-  void InvalidateExecPages();
+  // Bumps the generation counter of every mark class present in `marks` and clears
+  // that class's bit from every page (other classes' marks are preserved).
+  void InvalidateMarkedPages(uint8_t marks);
 
   std::vector<std::unique_ptr<Ram>> ram_;
   std::vector<MmioWindow> mmio_;
@@ -162,7 +181,8 @@ class Bus {
   uint8_t* ram0_marks_ = nullptr;
 
   uint64_t code_generation_ = 0;
-  bool any_exec_marks_ = false;
+  uint64_t pt_generation_ = 0;
+  bool any_marks_ = false;
   uint64_t mmio_ops_ = 0;
 };
 

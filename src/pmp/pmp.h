@@ -99,7 +99,9 @@ class PmpBank {
   }
 
   // Monotonic counter bumped on every configuration change. The hart's decoded-
-  // instruction cache keys fetch-permission validity on it (src/sim/hart.h).
+  // instruction cache keys fetch-permission validity on it, and the software TLB
+  // folds it into its entry stamps — a walk PMP-checks every PTE read, so a cached
+  // translation is only as valid as the bank it was walked under (src/sim/hart.h).
   uint64_t generation() const { return generation_; }
 
   // The access check from the privileged spec: returns true if an access of `size`

@@ -34,6 +34,12 @@ struct SimTuning {
   // interrupt-window (mtime tick), WFI, and MMIO boundaries, which is what keeps
   // batched execution cycle-exact with the per-instruction loop.
   uint32_t max_batch_instructions = 4096;
+  // Entries per access type in the per-hart software TLB (direct-mapped, indexed by
+  // virtual page number). Must be a power of two; 0 disables the TLB. Like the decode
+  // cache, hits replay the walk's cycle cost, so this never changes simulated
+  // behaviour — `tlb_enabled` is kept as a separate switch for ablation runs.
+  uint32_t tlb_entries = 4096;
+  bool tlb_enabled = true;
 };
 
 // Cycle-cost model. The simulator is not micro-architecturally accurate; these

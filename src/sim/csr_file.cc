@@ -433,6 +433,10 @@ void CsrFile::Set(uint16_t addr, uint64_t value) {
       if (mode != SatpBits::kModeBare && mode != SatpBits::kModeSv39) {
         return;  // unsupported mode: the entire write is ignored
       }
+      // No software-TLB flush is needed here: the hart's TLB keys every entry on the
+      // satp value itself (src/sim/hart.h), so a write — including the monitor's
+      // constant 0 <-> OS-satp toggling across world switches — simply stops matching
+      // old entries and starts matching any previously cached for the new value.
       satp_ = value & ~MaskRange(SatpBits::kAsidHi, SatpBits::kAsidLo);  // ASID hardwired 0
       return;
     }

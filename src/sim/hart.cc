@@ -43,10 +43,57 @@ Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* 
     icache_.resize(entries);
     icache_mask_ = entries - 1;
   }
+  uint64_t tlb_entries = tuning.tlb_enabled ? tuning.tlb_entries : 0;
+  if (tlb_entries != 0) {
+    while ((tlb_entries & (tlb_entries - 1)) != 0) {
+      tlb_entries += tlb_entries & -tlb_entries;
+    }
+    for (auto& array : tlb_) {
+      array.resize(tlb_entries);
+    }
+    tlb_mask_ = tlb_entries - 1;
+  }
 }
 
 uint64_t Hart::cache_stamp() const {
   return bus_->code_generation() + csrs_.pmp().generation() + fence_gen_;
+}
+
+uint64_t Hart::tlb_stamp() const {
+  return bus_->pt_generation() + csrs_.pmp().generation() + tlb_gen_;
+}
+
+uint8_t Hart::TlbCtx(PrivMode priv, bool sum, bool mxr, AccessType type) {
+  uint8_t ctx = static_cast<uint8_t>(priv);
+  if (sum && type != AccessType::kFetch) {
+    ctx |= 1 << 2;
+  }
+  if (mxr && type == AccessType::kLoad) {
+    ctx |= 1 << 3;
+  }
+  return ctx;
+}
+
+void Hart::FlushTlb() {
+  if (tlb_mask_ == 0) {
+    return;
+  }
+  ++tlb_gen_;  // invalidates every entry via the stamp compare
+  ++tlb_flushes_;
+}
+
+void Hart::FlushTlbPage(uint64_t vaddr) {
+  if (tlb_mask_ == 0) {
+    return;
+  }
+  const uint64_t vpage = vaddr >> 12;
+  for (auto& array : tlb_) {
+    TlbEntry& entry = array[vpage & tlb_mask_];
+    if (entry.vpage == vpage) {
+      entry.vpage = ~uint64_t{0};
+    }
+  }
+  ++tlb_flushes_;
 }
 
 PrivMode Hart::DataPriv() const {
@@ -67,23 +114,62 @@ bool Hart::DataVirt() const {
   return virt_;
 }
 
-Hart::AccessOutcome Hart::Translate(uint64_t vaddr, unsigned size, AccessType type,
-                                    PrivMode priv, bool use_vsatp) {
+Hart::AccessOutcome Hart::TranslateWith(const PmpBank& pmp, bool cacheable,
+                                        const TranslateParams& params, uint64_t vaddr,
+                                        unsigned size, AccessType type) {
   AccessOutcome out;
-  TranslateParams params;
-  params.satp = use_vsatp ? csrs_.vsatp() : csrs_.satp();
-  params.priv = priv;
-  const uint64_t status = use_vsatp ? csrs_.Get(kCsrVsstatus) : csrs_.mstatus();
-  params.sum = Bit(status, MstatusBits::kSum) != 0;
-  params.mxr = Bit(status, MstatusBits::kMxr) != 0;
+  // The TLB engages only where TranslateSv39 would actually walk: Sv39 mode at S/U
+  // effective privilege. Bare-mode and M-mode accesses are identity-mapped already.
+  const bool walked =
+      ExtractBits(params.satp, SatpBits::kModeHi, SatpBits::kModeLo) == SatpBits::kModeSv39 &&
+      params.priv != PrivMode::kMachine;
+  const bool engaged = cacheable && tlb_mask_ != 0 && walked;
+  const uint64_t vpage = vaddr >> 12;
+  TlbEntry* slot = nullptr;
+  if (engaged) {
+    slot = &tlb_[static_cast<unsigned>(type)][vpage & tlb_mask_];
+    // A hit replays a previous successful walk for this access type: the satp value
+    // and context byte prove the walk inputs match, and the stamp proves no store
+    // touched the page tables it read (and no PMP write or explicit flush happened).
+    // Entries are filled only post-A/D-update, so a hit never writes memory.
+    if (slot->vpage == vpage && slot->satp == params.satp &&
+        slot->ctx == TlbCtx(params.priv, params.sum, params.mxr, type) &&
+        slot->stamp == tlb_stamp()) {
+      ++tlb_hits_;
+      const uint64_t paddr = slot->paddr_page | (vaddr & MaskLow(12));
+      out.extra_cycles = slot->extra_cycles;  // the original walk's cycle cost
+      // The final PMP check depends on the access size. When the fill-time check
+      // proved the whole frame uniformly permitted it is skipped — any contained
+      // access matches the same PMP entry with the same verdict (a spanning
+      // misaligned access reaches past the frame, so it still scans). The per-PTE
+      // walk checks are covered by the PMP generation folded into the stamp.
+      if ((!slot->pmp_whole_page || (vaddr & MaskLow(12)) + size > 4096) &&
+          !pmp.Check(paddr, size, type, params.priv)) {
+        out.cause = AccessFaultFor(type);
+        return out;
+      }
+      out.ok = true;
+      out.paddr = paddr;
+      // Only decode-cache fills consume the replayed PTE addresses, and they only
+      // ever see fetch translations; data hits skip the copy.
+      if (type == AccessType::kFetch) {
+        out.pte_count = slot->pte_count;
+        for (unsigned i = 0; i < slot->pte_count; ++i) {
+          out.pte_addrs[i] = slot->pte_addrs[i];
+        }
+      }
+      return out;
+    }
+    ++tlb_misses_;
+  }
 
-  const TranslateResult tr = TranslateSv39(bus_, csrs_.pmp(), params, vaddr, type);
+  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, type);
   if (!tr.ok) {
     out.cause = tr.fault;
     return out;
   }
   out.extra_cycles = tr.walk_levels * cost_->page_walk_level;
-  if (!csrs_.pmp().Check(tr.paddr, size, type, priv)) {
+  if (!pmp.Check(tr.paddr, size, type, params.priv)) {
     out.cause = AccessFaultFor(type);
     return out;
   }
@@ -93,7 +179,42 @@ Hart::AccessOutcome Hart::Translate(uint64_t vaddr, unsigned size, AccessType ty
   for (unsigned i = 0; i < tr.pte_count; ++i) {
     out.pte_addrs[i] = tr.pte_addrs[i];
   }
+
+  if (engaged) {
+    // Fill: mark every PTE page the walk read so a later store into a page table
+    // invalidates this entry. A PTE page outside RAM cannot be watched, so such
+    // translations are never cached. The stamp is taken AFTER marking — the walk's
+    // own A/D update may have stored into a marked page and bumped pt_generation.
+    bool trackable = true;
+    for (unsigned i = 0; i < tr.pte_count; ++i) {
+      trackable &= bus_->MarkPtPage(tr.pte_addrs[i]);
+    }
+    if (trackable) {
+      slot->vpage = vpage;
+      slot->paddr_page = tr.paddr & ~MaskLow(12);
+      slot->satp = params.satp;
+      slot->extra_cycles = out.extra_cycles;
+      slot->pte_count = static_cast<uint8_t>(tr.pte_count);
+      for (unsigned i = 0; i < tr.pte_count; ++i) {
+        slot->pte_addrs[i] = tr.pte_addrs[i];
+      }
+      slot->ctx = TlbCtx(params.priv, params.sum, params.mxr, type);
+      slot->pmp_whole_page = pmp.Check(slot->paddr_page, 4096, type, params.priv);
+      slot->stamp = tlb_stamp();
+    }
+  }
   return out;
+}
+
+Hart::AccessOutcome Hart::Translate(uint64_t vaddr, unsigned size, AccessType type,
+                                    PrivMode priv, bool use_vsatp) {
+  TranslateParams params;
+  params.satp = use_vsatp ? csrs_.vsatp() : csrs_.satp();
+  params.priv = priv;
+  const uint64_t status = use_vsatp ? csrs_.Get(kCsrVsstatus) : csrs_.mstatus();
+  params.sum = Bit(status, MstatusBits::kSum) != 0;
+  params.mxr = Bit(status, MstatusBits::kMxr) != 0;
+  return TranslateWith(csrs_.pmp(), /*cacheable=*/true, params, vaddr, size, type);
 }
 
 Hart::MemResult Hart::ReadMemory(uint64_t vaddr, unsigned size, uint64_t* value) {
@@ -149,14 +270,18 @@ Hart::MemResult Hart::ReadMemoryAs(PrivMode priv, uint64_t satp_override, uint64
   const uint64_t mstatus = csrs_.mstatus();
   params.sum = Bit(mstatus, MstatusBits::kSum) != 0;
   params.mxr = Bit(mstatus, MstatusBits::kMxr) != 0;
-  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, AccessType::kLoad);
-  if (!tr.ok) {
+  // With a PMP override (the monitor's MPRV emulation passes the firmware's virtual
+  // bank), the TLB is bypassed entirely: its stamp tracks only the physical bank's
+  // generation, so entries can neither validate against nor be filled under a foreign
+  // bank. Overrideless calls share entries with the interpreter path.
+  const AccessOutcome out = TranslateWith(pmp, /*cacheable=*/pmp_override == nullptr, params,
+                                          vaddr, size, AccessType::kLoad);
+  if (!out.ok) {
     result.ok = false;
-    result.cause = tr.fault;
+    result.cause = out.cause;
     return result;
   }
-  if (!pmp.Check(tr.paddr, size, AccessType::kLoad, priv) ||
-      !bus_->Read(tr.paddr, size, value)) {
+  if (!bus_->Read(out.paddr, size, value)) {
     result.ok = false;
     result.cause = ExceptionCause::kLoadAccessFault;
     return result;
@@ -175,14 +300,14 @@ Hart::MemResult Hart::WriteMemoryAs(PrivMode priv, uint64_t satp_override, uint6
   const uint64_t mstatus = csrs_.mstatus();
   params.sum = Bit(mstatus, MstatusBits::kSum) != 0;
   params.mxr = Bit(mstatus, MstatusBits::kMxr) != 0;
-  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, AccessType::kStore);
-  if (!tr.ok) {
+  const AccessOutcome out = TranslateWith(pmp, /*cacheable=*/pmp_override == nullptr, params,
+                                          vaddr, size, AccessType::kStore);
+  if (!out.ok) {
     result.ok = false;
-    result.cause = tr.fault;
+    result.cause = out.cause;
     return result;
   }
-  if (!pmp.Check(tr.paddr, size, AccessType::kStore, priv) ||
-      !bus_->Write(tr.paddr, size, value)) {
+  if (!bus_->Write(out.paddr, size, value)) {
     result.ok = false;
     result.cause = ExceptionCause::kStoreAccessFault;
     return result;
@@ -740,6 +865,13 @@ StepResult Hart::Execute(const DecodedInstr& d) {
           Bit(csrs_.mstatus(), MstatusBits::kTvm) != 0) {
         return IllegalInstr(d);
       }
+      // rs1 selects the per-address form: only the named page is dropped, everything
+      // else stays cached. (rs2/ASID is ignored — satp's ASID field is hardwired 0.)
+      if (d.rs1 == 0) {
+        FlushTlb();
+      } else {
+        FlushTlbPage(rs1);
+      }
       return Retire(next, base_cost + cost_->tlb_flush);
     }
     case Op::kHfenceVvma:
@@ -747,6 +879,7 @@ StepResult Hart::Execute(const DecodedInstr& d) {
       if (!csrs_.config().has_h_ext || priv_ == PrivMode::kUser || virt_) {
         return IllegalInstr(d);
       }
+      FlushTlb();
       return Retire(next, base_cost + cost_->tlb_flush);
     }
 

@@ -115,6 +115,22 @@ class Hart {
   uint64_t decode_cache_hits() const { return icache_hits_; }
   uint64_t decode_cache_misses() const { return icache_misses_; }
 
+  // Software-TLB counters (DESIGN.md §2d). A hit means the Sv39 walk was skipped (its
+  // cycle cost is still charged); misses count only lookups the TLB could have served
+  // (paged translations by the engaged lookup path), so hits/(hits+misses) is a true
+  // hit rate. Flushes count explicit invalidations (sfence.vma, hfences, monitor
+  // world switches) — not generation bumps from PT-page stores.
+  uint64_t tlb_hits() const { return tlb_hits_; }
+  uint64_t tlb_misses() const { return tlb_misses_; }
+  uint64_t tlb_flushes() const { return tlb_flushes_; }
+
+  // Drops every TLB entry (generation bump). Called for sfence.vma rs1=x0, hfences,
+  // and by the monitor on world switches and remote-fence delivery.
+  void FlushTlb();
+  // Drops only entries translating the page of `vaddr` (sfence.vma rs1!=x0). Other
+  // pages stay cached, which the per-address form exists to allow.
+  void FlushTlbPage(uint64_t vaddr);
+
   // Clears any load reservation (the monitor does this on world switches).
   void ClearReservation() { reservation_.reset(); }
 
@@ -144,15 +160,58 @@ class Hart {
     bool virt = false;
   };
 
+  // One slot of the software TLB: a cached page translation plus everything needed to
+  // prove the original walk is still valid. An entry hits only when the tag (virtual
+  // page), satp value, translation-context byte, and generation stamp all match.
+  // Entries are filled only after a successful walk for this slot's access type, so
+  // the walk has already set the PTE's A bit (and D for stores) — a hit never needs
+  // to write memory, and a store through a page cached only in the load array
+  // re-walks and performs the D-bit update. `extra_cycles` replays the walk cost so
+  // hits charge exactly the cycles the walk would.
+  struct TlbEntry {
+    uint64_t vpage = ~uint64_t{0};  // vaddr >> 12; ~0 is never a valid Sv39 page
+    uint64_t paddr_page = 0;        // translated page base (low 12 bits clear)
+    uint64_t satp = 0;              // satp value the walk used (part of the key)
+    uint64_t stamp = 0;             // tlb_stamp() at fill time
+    uint64_t extra_cycles = 0;      // page-walk cycles of the original walk
+    uint64_t pte_addrs[3] = {};     // PTE addresses the walk read (replayed to callers)
+    uint8_t pte_count = 0;
+    uint8_t ctx = 0;                // TlbCtx() at fill time (priv/SUM/MXR)
+    // True when the fill-time PMP check proved the whole 4 KiB frame is permitted
+    // for this access type and privilege (one entry contains the frame). Hits may
+    // then skip the per-access PMP scan: any access inside the frame matches the
+    // same entry with the same verdict, and the stamp folds in the bank's
+    // generation, so any PMP write invalidates the entry before it can lie.
+    bool pmp_whole_page = false;
+  };
+
   // Sum of the three monotonic invalidation counters: stores into exec-marked pages
   // (bus), physical PMP reconfiguration, and local fence.i. Each counter only grows,
   // so the sum only grows and a single equality compare validates all three.
   uint64_t cache_stamp() const;
 
+  // TLB analogue of cache_stamp(): stores into PT-marked pages (bus), physical PMP
+  // reconfiguration (a walk's per-PTE PMP checks depend on the bank), and explicit
+  // full flushes. satp writes and privilege/SUM/MXR changes need no counter — they
+  // are part of each entry's key.
+  uint64_t tlb_stamp() const;
+
+  // Packs the walk-relevant translation context into an entry key byte. SUM only
+  // affects data accesses and MXR only loads, mirroring TranslateSv39's permission
+  // logic, so irrelevant bits are masked out to avoid needless misses.
+  static uint8_t TlbCtx(PrivMode priv, bool sum, bool mxr, AccessType type);
+
   // Effective privilege for data accesses (honors mstatus.MPRV).
   PrivMode DataPriv() const;
   bool DataVirt() const;
 
+  // Translation core shared by the interpreter path (Translate) and the monitor's
+  // explicit-context path (ReadMemoryAs/WriteMemoryAs). Consults the software TLB
+  // before walking when `cacheable` (entries are never filled from, nor served to,
+  // non-cacheable lookups — the monitor's MPRV emulation passes a stack-local PMP
+  // bank the stamp machinery cannot watch).
+  AccessOutcome TranslateWith(const PmpBank& pmp, bool cacheable, const TranslateParams& params,
+                              uint64_t vaddr, unsigned size, AccessType type);
   AccessOutcome Translate(uint64_t vaddr, unsigned size, AccessType type, PrivMode priv,
                           bool use_vsatp);
   StepResult Execute(const DecodedInstr& instr);
@@ -184,6 +243,16 @@ class Hart {
   uint64_t fence_gen_ = 0;  // bumped by fence.i
   uint64_t icache_hits_ = 0;
   uint64_t icache_misses_ = 0;
+
+  // Software TLB: one direct-mapped array per access type (fetch/load/store), indexed
+  // by virtual page number. Separate arrays keep the A/D fill invariant local to each
+  // access type. Empty when disabled; tlb_mask_ == 0 doubles as the "disabled" flag.
+  std::vector<TlbEntry> tlb_[3];
+  uint64_t tlb_mask_ = 0;
+  uint64_t tlb_gen_ = 0;  // bumped by FlushTlb
+  uint64_t tlb_hits_ = 0;
+  uint64_t tlb_misses_ = 0;
+  uint64_t tlb_flushes_ = 0;
 };
 
 }  // namespace vfm

@@ -39,8 +39,9 @@ struct TranslateResult {
   ExceptionCause fault = ExceptionCause::kLoadPageFault;  // valid when !ok
   unsigned walk_levels = 0;                               // cost accounting
   // Physical addresses of the PTEs read during the walk. The decoded-instruction
-  // cache marks these pages so that a later store into a page table invalidates any
-  // decode whose fetch translation it produced (src/sim/hart.cc).
+  // cache exec-marks these pages so that a later store into a page table invalidates
+  // any decode whose fetch translation it produced, and the software TLB PT-marks
+  // them so the same store invalidates cached translations (src/sim/hart.cc).
   uint64_t pte_addrs[3] = {};
   unsigned pte_count = 0;
 };

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "src/asm/assembler.h"
 #include "src/common/bits.h"
 #include "src/sim/machine.h"
@@ -419,6 +421,130 @@ TEST_F(MmuTest, MxrMakesExecutableReadable) {
   EXPECT_FALSE(TranslateSv39(&bus_, pmp_, user, 0x4000, AccessType::kLoad).ok);
   user.mxr = true;
   EXPECT_TRUE(TranslateSv39(&bus_, pmp_, user, 0x4000, AccessType::kLoad).ok);
+}
+
+// -- Software TLB (DESIGN.md §2d). --------------------------------------------------
+
+class TlbTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRoot = kRam + 0x1000;
+
+  TlbTest() {
+    MachineConfig config;
+    config.hart_count = 1;
+    machine_ = std::make_unique<Machine>(config);
+    hart_ = &machine_->hart(0);
+    SetupPaging(*machine_);
+    hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+    hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+    hart_->csrs().Set(kCsrSatp, (uint64_t{8} << 60) | (kRoot >> 12));
+    hart_->set_priv(PrivMode::kSupervisor);
+  }
+
+  // Identity 1 GiB superpage over the RAM region (code and page tables execute and
+  // are stored through it) plus fine 4 KiB S-mode RW mappings: VA 0x3000 ->
+  // kRam+0x5000 and VA 0x4000 -> kRam+0x6000, via root[0] -> L1 (kRam+0x2000) ->
+  // L0 (kRam+0x3000).
+  static void SetupPaging(Machine& machine) {
+    Bus& bus = machine.bus();
+    bus.Write(kRoot + 8 * 2, 8, ((kRam >> 12) << 10) | 0xCF);  // V R W X A D
+    bus.Write(kRoot + 0, 8, (((kRam + 0x2000) >> 12) << 10) | 0x01);
+    bus.Write(kRam + 0x2000, 8, (((kRam + 0x3000) >> 12) << 10) | 0x01);
+    bus.Write(kRam + 0x3000 + 8 * 3, 8, (((kRam + 0x5000) >> 12) << 10) | 0xC7);  // V R W A D
+    bus.Write(kRam + 0x3000 + 8 * 4, 8, (((kRam + 0x6000) >> 12) << 10) | 0xC7);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Hart* hart_;
+};
+
+TEST_F(TlbTest, CountersTrackPagedTranslations) {
+  hart_->set_pc(kRam + 0x8000);
+  hart_->set_gpr(5, 0x3000);                            // t0
+  machine_->bus().Write(kRam + 0x8000, 4, 0x0002B303);  // ld t1, 0(t0)
+  hart_->Tick();
+  // The first execution walks twice: the fetch and the load.
+  EXPECT_EQ(hart_->tlb_misses(), 2u);
+  EXPECT_EQ(hart_->tlb_hits(), 0u);
+  hart_->set_pc(kRam + 0x8000);
+  hart_->Tick();
+  // Re-execution: the decode cache skips the fetch translation entirely, and the
+  // load translation is served by the TLB.
+  EXPECT_EQ(hart_->tlb_misses(), 2u);
+  EXPECT_EQ(hart_->tlb_hits(), 1u);
+  EXPECT_EQ(hart_->tlb_flushes(), 0u);
+}
+
+TEST_F(TlbTest, SfenceVmaFlushesAndRecounts) {
+  hart_->set_pc(kRam + 0x8000);
+  hart_->set_gpr(5, 0x3000);                                // t0
+  machine_->bus().Write(kRam + 0x8000, 4, 0x0002B303);      // ld t1, 0(t0)
+  machine_->bus().Write(kRam + 0x8000 + 4, 4, 0x12000073);  // sfence.vma x0, x0
+  hart_->Tick();
+  hart_->Tick();
+  EXPECT_EQ(hart_->tlb_flushes(), 1u);
+  const uint64_t misses = hart_->tlb_misses();
+  hart_->set_pc(kRam + 0x8000);
+  hart_->Tick();  // decode-cache hit, but the load must re-walk after the flush
+  EXPECT_EQ(hart_->tlb_misses(), misses + 1);
+}
+
+TEST_F(TlbTest, CycleAccountingIdenticalWithTlbDisabled) {
+  // The TLB is a host-side cache only: the same paging-heavy program must charge
+  // exactly the same simulated cycles with the TLB on and off.
+  const auto run = [](bool enabled) {
+    MachineConfig config;
+    config.tuning.tlb_enabled = enabled;
+    Machine machine(config);
+    Hart& hart = machine.hart(0);
+    SetupPaging(machine);
+    hart.csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+    hart.csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+    hart.csrs().Set(kCsrSatp, (uint64_t{8} << 60) | (kRoot >> 12));
+    hart.set_priv(PrivMode::kSupervisor);
+    Assembler a(kRam + 0x8000);
+    a.Li(t0, 0x3000);
+    a.Li(t1, 0x4000);
+    a.Li(s2, 0);
+    a.Li(s3, 50);
+    a.Bind("loop");
+    a.Ld(t2, t0, 0);
+    a.Ld(t2, t1, 0);
+    a.Sd(s2, t0, 8);
+    a.SfenceVma();
+    a.Addi(s2, s2, 1);
+    a.Blt(s2, s3, "loop");
+    Image image = std::move(a.Finish()).value();
+    machine.LoadImage(image.base, image.bytes);
+    hart.set_pc(image.entry);
+    for (int i = 0; i < 1000; ++i) {
+      machine.StepAll();
+    }
+    return std::make_tuple(hart.cycles(), hart.instret(), hart.pc(), hart.gpr(s2));
+  };
+  const auto with_tlb = run(true);
+  const auto without_tlb = run(false);
+  EXPECT_EQ(with_tlb, without_tlb);
+}
+
+TEST_F(TlbTest, DisabledTlbCountsNothing) {
+  MachineConfig config;
+  config.tuning.tlb_enabled = false;
+  Machine machine(config);
+  Hart& hart = machine.hart(0);
+  SetupPaging(machine);
+  hart.csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart.csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart.csrs().Set(kCsrSatp, (uint64_t{8} << 60) | (kRoot >> 12));
+  hart.set_priv(PrivMode::kSupervisor);
+  hart.set_pc(kRam + 0x8000);
+  hart.set_gpr(5, 0x3000);
+  machine.bus().Write(kRam + 0x8000, 4, 0x0002B303);  // ld t1, 0(t0)
+  hart.Tick();
+  hart.set_pc(kRam + 0x8000);
+  hart.Tick();
+  EXPECT_EQ(hart.tlb_hits(), 0u);
+  EXPECT_EQ(hart.tlb_misses(), 0u);
 }
 
 }  // namespace
