@@ -1,0 +1,437 @@
+#include "src/cosim/lockstep.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+
+#include "src/isa/csr.h"
+#include "src/isa/instr.h"
+#include "src/isa/priv.h"
+#include "src/refmodel/refmodel.h"
+#include "src/sim/machine.h"
+
+namespace vfm {
+
+const uint16_t kComparedCsrs[] = {
+    kCsrMstatus, kCsrMie,      kCsrMip,        kCsrMideleg,    kCsrMedeleg, kCsrMtvec,
+    kCsrMepc,    kCsrMcause,   kCsrMtval,      kCsrMscratch,   kCsrMcounteren,
+    kCsrMenvcfg, kCsrStvec,    kCsrSepc,       kCsrSscratch,   kCsrSatp,    kCsrScause,
+    kCsrStval,   kCsrScounteren, kCsrSenvcfg,  kCsrSstatus,    kCsrSie,     kCsrSip,
+};
+const unsigned kComparedCsrCount = sizeof(kComparedCsrs) / sizeof(kComparedCsrs[0]);
+
+const std::vector<LockstepConfig>& LockstepConfigs() {
+  static const std::vector<LockstepConfig> kConfigs = {
+      {"nocache-notlb", 0, 0, false},      // baseline: every layer interpreted
+      {"dcache-notlb", 16384, 0, false},   // decode cache alone
+      {"nocache-tlb", 0, 4096, true},      // TLB alone
+      {"tiny-dcache-tlb", 64, 64, true},   // both, tiny: exercises aliasing eviction
+  };
+  return kConfigs;
+}
+
+namespace {
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string Hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+  return buf;
+}
+
+// Instructions the reference model's RefStep covers. Counter CSRs are excluded: the
+// model's mcycle/minstret do not advance with the hart's clock, so reads of them (and
+// of the hpm ranges) are checked only by the cross-configuration comparison.
+bool CoveredByRef(const DecodedInstr& instr) {
+  switch (instr.op) {
+    case Op::kMret:
+    case Op::kSret:
+    case Op::kWfi:
+    case Op::kSfenceVma:
+    case Op::kEcall:
+    case Op::kEbreak:
+      return true;
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci: {
+      const uint16_t c = instr.csr;
+      if ((c >= 0xB00 && c <= 0xB9F) || (c >= 0xC00 && c <= 0xC9F) ||
+          (c >= 0x320 && c <= 0x33F)) {
+        return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void MirrorToRef(const Hart& hart, uint64_t mtime, RefState* ref) {
+  const CsrFile& csrs = hart.csrs();
+  *ref = RefState();
+  ref->pc = hart.pc();
+  ref->priv = hart.priv();
+  for (unsigned i = 0; i < 32; ++i) {
+    ref->gpr[i] = hart.gpr(i);
+  }
+  ref->mstatus = csrs.Get(kCsrMstatus);
+  ref->misa = csrs.Get(kCsrMisa);
+  ref->medeleg = csrs.Get(kCsrMedeleg);
+  ref->mideleg = csrs.Get(kCsrMideleg);
+  ref->mie = csrs.Get(kCsrMie);
+  ref->mip = csrs.Get(kCsrMip);  // effective: lines are constant within one tick
+  ref->mtvec = csrs.Get(kCsrMtvec);
+  ref->mcounteren = csrs.Get(kCsrMcounteren);
+  ref->menvcfg = csrs.Get(kCsrMenvcfg);
+  ref->mcountinhibit = csrs.Get(kCsrMcountinhibit);
+  ref->mscratch = csrs.Get(kCsrMscratch);
+  ref->mepc = csrs.Get(kCsrMepc);
+  ref->mcause = csrs.Get(kCsrMcause);
+  ref->mtval = csrs.Get(kCsrMtval);
+  ref->mseccfg = csrs.Get(kCsrMseccfg);
+  ref->mcycle = csrs.Get(kCsrMcycle);
+  ref->minstret = csrs.Get(kCsrMinstret);
+  ref->stvec = csrs.Get(kCsrStvec);
+  ref->scounteren = csrs.Get(kCsrScounteren);
+  ref->senvcfg = csrs.Get(kCsrSenvcfg);
+  ref->sscratch = csrs.Get(kCsrSscratch);
+  ref->sepc = csrs.Get(kCsrSepc);
+  ref->scause = csrs.Get(kCsrScause);
+  ref->stval = csrs.Get(kCsrStval);
+  ref->satp = csrs.Get(kCsrSatp);
+  for (unsigned i = 0; i < 8; ++i) {
+    ref->pmpcfg[i] = csrs.pmp().GetCfg(i).ToByte();
+    ref->pmpaddr[i] = csrs.pmp().GetAddr(i);
+  }
+  ref->time = mtime;
+}
+
+// Post-step comparison of the hart against the predicted reference state. The cycle
+// and retirement counters are deliberately absent (the model has no clock).
+std::string CompareHartVsRef(const Hart& hart, const RefConfig& config, const RefState& ref) {
+  for (unsigned i = 0; i < kComparedCsrCount; ++i) {
+    const uint16_t addr = kComparedCsrs[i];
+    const uint64_t got = hart.csrs().Get(addr);
+    const uint64_t want = RefCsrGet(config, ref, addr);
+    if (got != want) {
+      return CsrName(addr) + ": hart " + Hex(got) + " ref " + Hex(want);
+    }
+  }
+  if (hart.pc() != ref.pc) {
+    return "pc: hart " + Hex(hart.pc()) + " ref " + Hex(ref.pc);
+  }
+  if (hart.priv() != ref.priv) {
+    return std::string("priv: hart ") + PrivModeName(hart.priv()) + " ref " +
+           PrivModeName(ref.priv);
+  }
+  for (unsigned i = 0; i < 32; ++i) {
+    if (hart.gpr(i) != ref.gpr[i]) {
+      return "x" + std::to_string(i) + ": hart " + Hex(hart.gpr(i)) + " ref " +
+             Hex(ref.gpr[i]);
+    }
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    if (hart.csrs().pmp().GetCfg(i).ToByte() != ref.pmpcfg[i] ||
+        hart.csrs().pmp().GetAddr(i) != ref.pmpaddr[i]) {
+      return "pmp entry " + std::to_string(i) + " mismatch";
+    }
+  }
+  return {};
+}
+
+// Whether the baseline loop can predict the next instruction: the fetch must be
+// untranslated (the reference model has no MMU) and readable from RAM.
+bool FetchPredictable(const Hart& hart, const Bus& bus) {
+  if ((hart.pc() & 3) != 0) {
+    return false;
+  }
+  if (hart.priv() != PrivMode::kMachine &&
+      (hart.csrs().satp() >> SatpBits::kModeLo) != SatpBits::kModeBare) {
+    return false;
+  }
+  if (!bus.IsRam(hart.pc(), 4)) {
+    return false;
+  }
+  return hart.csrs().pmp().Check(hart.pc(), 4, AccessType::kFetch, hart.priv());
+}
+
+void RefreshLines(Machine& machine) {
+  for (unsigned i = 0; i < machine.hart_count(); ++i) {
+    CsrFile& csrs = machine.hart(i).csrs();
+    csrs.SetInterruptLine(InterruptCause::kMachineTimer, machine.clint().MtipPending(i));
+    csrs.SetInterruptLine(InterruptCause::kMachineSoftware, machine.clint().MsipPending(i));
+    csrs.SetInterruptLine(InterruptCause::kSupervisorExternal, machine.plic().SeipPending(i));
+  }
+}
+
+// The baseline run loop: per-instruction StepAll rounds with the RunUntilFinished
+// budget semantics (so "finished" means the same thing in every configuration), plus
+// the in-flight reference-model check on each predictable privileged step.
+void RunBaselineLoop(Machine& machine, const CosimProgram& program, RunOutcome* out) {
+  Hart& hart = machine.hart(0);
+  const RefConfig ref_config{
+      .pmp_entries = 8, .has_time_csr = true, .has_sstc = false, .has_custom_csrs = false};
+  const uint64_t budget = program.opts.budget;
+  const uint64_t start = hart.instret();
+  uint64_t rounds = 0;
+  RefState ref;
+  while (!machine.finisher().finished()) {
+    // Sample the device lines exactly as StepAll is about to, so the interrupt
+    // prediction below sees what the hart will see.
+    RefreshLines(machine);
+    bool predicted = false;
+    if (out->ref_divergence.empty()) {
+      const std::optional<uint64_t> irq = hart.PendingInterrupt();
+      if (irq.has_value()) {
+        MirrorToRef(hart, machine.clint().mtime(), &ref);
+        RefTrapEntry(&ref, *irq, 0);
+        predicted = true;
+      } else if (!hart.waiting() && FetchPredictable(hart, machine.bus())) {
+        uint32_t word = 0;
+        if (machine.bus().ReadBytes(hart.pc(), &word, 4)) {
+          const DecodedInstr instr = Decode(word);
+          if (CoveredByRef(instr)) {
+            MirrorToRef(hart, machine.clint().mtime(), &ref);
+            ref = RefStep(ref_config, ref, instr).state;
+            predicted = true;
+          }
+        }
+      }
+    }
+    machine.StepAll();
+    if (predicted) {
+      ++out->ref_checks;
+      const std::string diff = CompareHartVsRef(hart, ref_config, ref);
+      if (!diff.empty()) {
+        out->ref_divergence =
+            diff + " (at instret " + std::to_string(hart.instret()) + ")";
+      }
+    }
+    ++rounds;
+    if (hart.instret() - start >= budget || rounds >= 4 * budget) {
+      break;  // same budget semantics as RunUntilFinished
+    }
+  }
+}
+
+HartSnapshot SnapshotHart(const Hart& hart) {
+  HartSnapshot snap;
+  snap.pc = hart.pc();
+  snap.priv = static_cast<uint8_t>(hart.priv());
+  snap.waiting = hart.waiting();
+  for (unsigned i = 0; i < 32; ++i) {
+    snap.gpr[i] = hart.gpr(i);
+  }
+  snap.instret = hart.instret();
+  snap.cycles = hart.cycles();
+  snap.traps_taken = hart.traps_taken();
+  snap.csrs.reserve(kComparedCsrCount);
+  for (unsigned i = 0; i < kComparedCsrCount; ++i) {
+    snap.csrs.push_back(hart.csrs().Get(kComparedCsrs[i]));
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    snap.pmpcfg[i] = hart.csrs().pmp().GetCfg(i).ToByte();
+    snap.pmpaddr[i] = hart.csrs().pmp().GetAddr(i);
+  }
+  return snap;
+}
+
+}  // namespace
+
+RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
+                      bool with_refmodel) {
+  RunOutcome out;
+  const Result<Image> image = BuildCosimImage(program);
+  if (!image.ok()) {
+    out.build_error = image.error();
+    return out;
+  }
+
+  MachineConfig mc;
+  mc.hart_count = program.opts.harts;
+  mc.isa.has_time_csr = true;  // richer CSR surface: `time` reads compare, not trap
+  mc.tuning.decode_cache_entries = config.decode_cache_entries;
+  mc.tuning.tlb_entries = config.tlb_entries;
+  mc.tuning.tlb_enabled = config.tlb_enabled;
+  mc.map.ram_size = CosimLayout::kRamSize;
+  Machine machine(mc);
+  machine.LoadImage(image.value().base, image.value().bytes);
+  machine.SetTrapObserver([&out](const Hart& hart, const StepResult& result) {
+    ++out.total_traps;
+    if (out.traps.size() < kMaxTrapTrace) {
+      out.traps.push_back({static_cast<uint8_t>(hart.index()), result.trap_cause, hart.pc(),
+                           hart.instret(), hart.cycles()});
+    }
+  });
+
+  if (with_refmodel && program.opts.harts == 1) {
+    RunBaselineLoop(machine, program, &out);
+  } else {
+    machine.RunUntilFinished(program.opts.budget);
+  }
+
+  out.finished = machine.finisher().finished();
+  out.exit_code = machine.finisher().exit_code();
+  out.uart = machine.uart().output();
+  std::vector<uint8_t> ram(CosimLayout::kRamSize);
+  if (machine.bus().ReadBytes(CosimLayout::kRamBase, ram.data(), ram.size())) {
+    out.ram_hash = Fnv1a(ram.data(), ram.size());
+  }
+  for (unsigned i = 0; i < machine.hart_count(); ++i) {
+    out.harts.push_back(SnapshotHart(machine.hart(i)));
+  }
+  return out;
+}
+
+std::string CompareOutcomes(const RunOutcome& a, const RunOutcome& b) {
+  if (a.finished != b.finished) {
+    return std::string("finished: ") + (a.finished ? "yes" : "no") + " vs " +
+           (b.finished ? "yes" : "no");
+  }
+  if (a.exit_code != b.exit_code) {
+    return "exit_code: " + Hex(a.exit_code) + " vs " + Hex(b.exit_code);
+  }
+  if (a.uart != b.uart) {
+    return "uart output: \"" + a.uart + "\" vs \"" + b.uart + "\"";
+  }
+  if (a.total_traps != b.total_traps) {
+    return "total traps: " + std::to_string(a.total_traps) + " vs " +
+           std::to_string(b.total_traps);
+  }
+  if (a.traps.size() != b.traps.size()) {
+    return "trap trace length: " + std::to_string(a.traps.size()) + " vs " +
+           std::to_string(b.traps.size());
+  }
+  for (size_t i = 0; i < a.traps.size(); ++i) {
+    if (!(a.traps[i] == b.traps[i])) {
+      return "trap[" + std::to_string(i) + "]: hart" + std::to_string(a.traps[i].hart) +
+             " cause " + Hex(a.traps[i].cause) + " pc " + Hex(a.traps[i].pc) + " @instret " +
+             std::to_string(a.traps[i].instret) + "/cycles " + std::to_string(a.traps[i].cycles) +
+             " vs hart" + std::to_string(b.traps[i].hart) + " cause " + Hex(b.traps[i].cause) +
+             " pc " + Hex(b.traps[i].pc) + " @instret " + std::to_string(b.traps[i].instret) +
+             "/cycles " + std::to_string(b.traps[i].cycles);
+    }
+  }
+  if (a.harts.size() != b.harts.size()) {
+    return "hart count";
+  }
+  for (size_t h = 0; h < a.harts.size(); ++h) {
+    const HartSnapshot& x = a.harts[h];
+    const HartSnapshot& y = b.harts[h];
+    const std::string who = "hart" + std::to_string(h) + " ";
+    if (x.pc != y.pc) {
+      return who + "pc: " + Hex(x.pc) + " vs " + Hex(y.pc);
+    }
+    if (x.priv != y.priv) {
+      return who + "priv: " + std::to_string(x.priv) + " vs " + std::to_string(y.priv);
+    }
+    if (x.waiting != y.waiting) {
+      return who + "waiting differs";
+    }
+    if (x.instret != y.instret) {
+      return who + "instret: " + std::to_string(x.instret) + " vs " + std::to_string(y.instret);
+    }
+    if (x.cycles != y.cycles) {
+      return who + "cycles: " + std::to_string(x.cycles) + " vs " + std::to_string(y.cycles);
+    }
+    if (x.traps_taken != y.traps_taken) {
+      return who + "traps_taken: " + std::to_string(x.traps_taken) + " vs " +
+             std::to_string(y.traps_taken);
+    }
+    for (unsigned i = 0; i < 32; ++i) {
+      if (x.gpr[i] != y.gpr[i]) {
+        return who + "x" + std::to_string(i) + ": " + Hex(x.gpr[i]) + " vs " + Hex(y.gpr[i]);
+      }
+    }
+    for (unsigned i = 0; i < kComparedCsrCount; ++i) {
+      if (x.csrs[i] != y.csrs[i]) {
+        return who + CsrName(kComparedCsrs[i]) + ": " + Hex(x.csrs[i]) + " vs " +
+               Hex(y.csrs[i]);
+      }
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+      if (x.pmpcfg[i] != y.pmpcfg[i] || x.pmpaddr[i] != y.pmpaddr[i]) {
+        return who + "pmp entry " + std::to_string(i) + " differs";
+      }
+    }
+  }
+  if (a.ram_hash != b.ram_hash) {
+    return "ram hash: " + Hex(a.ram_hash) + " vs " + Hex(b.ram_hash);
+  }
+  return {};
+}
+
+CheckResult CheckProgram(const CosimProgram& program) {
+  const std::vector<LockstepConfig>& configs = LockstepConfigs();
+  const RunOutcome baseline = RunProgram(program, configs[0], /*with_refmodel=*/true);
+  if (!baseline.build_error.empty()) {
+    return {false, "build: " + baseline.build_error};
+  }
+  if (!baseline.ref_divergence.empty()) {
+    return {false, "refmodel: " + baseline.ref_divergence};
+  }
+  for (size_t i = 1; i < configs.size(); ++i) {
+    const RunOutcome alt = RunProgram(program, configs[i], /*with_refmodel=*/false);
+    if (!alt.build_error.empty()) {
+      return {false, "build: " + alt.build_error};
+    }
+    const std::string diff = CompareOutcomes(baseline, alt);
+    if (!diff.empty()) {
+      return {false, std::string(configs[i].name) + " vs " + configs[0].name + ": " + diff};
+    }
+  }
+  return {};
+}
+
+CosimProgram ShrinkProgram(const CosimProgram& program,
+                           const std::function<bool(const CosimProgram&)>& still_fails,
+                           unsigned max_runs) {
+  CosimProgram current = program;
+  unsigned runs = 0;
+  size_t chunk = (current.keep.size() + 1) / 2;
+  while (chunk >= 1 && runs < max_runs && current.keep.size() > 1) {
+    bool removed_any = false;
+    size_t start = 0;
+    while (start < current.keep.size() && runs < max_runs) {
+      CosimProgram trial = current;
+      const size_t end = std::min(start + chunk, trial.keep.size());
+      trial.keep.erase(trial.keep.begin() + static_cast<long>(start),
+                       trial.keep.begin() + static_cast<long>(end));
+      if (trial.keep.empty()) {
+        break;  // never try the empty program
+      }
+      ++runs;
+      if (still_fails(trial)) {
+        current = std::move(trial);
+        removed_any = true;  // retry the same position, which now holds new actions
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) {
+        break;  // 1-minimal: no single action can be removed
+      }
+    } else {
+      chunk = (chunk + 1) / 2;
+      if (chunk > current.keep.size()) {
+        chunk = current.keep.size();
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace vfm

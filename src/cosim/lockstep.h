@@ -1,0 +1,115 @@
+// Lockstep differential execution of generated guest programs (DESIGN.md §2e).
+//
+// One program is run to completion on several Machine configurations that differ
+// only in host-side tuning (decoded-instruction cache and software TLB on/off — knobs
+// documented as having no effect on simulated behaviour), and the complete observable
+// outcome of each run — final architectural state of every hart, retired-instruction
+// and cycle counts, the full trap trace, UART output, a RAM image hash, and the
+// finisher verdict — is compared field by field. The baseline configuration runs a
+// per-instruction StepAll loop (so the batched run loop of the other configurations
+// is itself under test) and, for single-hart programs, additionally steps every
+// privileged instruction against the reference model in-flight, extending src/verif's
+// single-step checking to whole-program trap/PMP/paging interleavings.
+//
+// A divergence is minimized by ShrinkProgram (ddmin over the program's kept-action
+// set) and persisted as a replayable seed file (program.h).
+
+#ifndef SRC_COSIM_LOCKSTEP_H_
+#define SRC_COSIM_LOCKSTEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cosim/program.h"
+
+namespace vfm {
+
+// One tuning point of the lockstep matrix.
+struct LockstepConfig {
+  const char* name;
+  uint32_t decode_cache_entries;
+  uint32_t tlb_entries;
+  bool tlb_enabled;
+};
+
+// The four decode-cache x TLB configurations every program runs under. Index 0 is the
+// caches-off baseline; the last entry uses deliberately tiny caches so index-aliasing
+// eviction paths are exercised, not just hits.
+const std::vector<LockstepConfig>& LockstepConfigs();
+
+// Architectural snapshot of one hart at end of run. Everything here must be identical
+// across tuning configurations.
+struct HartSnapshot {
+  uint64_t pc = 0;
+  uint8_t priv = 0;
+  bool waiting = false;
+  uint64_t gpr[32] = {};
+  uint64_t instret = 0;
+  uint64_t cycles = 0;
+  uint64_t traps_taken = 0;
+  std::vector<uint64_t> csrs;  // values of kComparedCsrs, in order
+  uint64_t pmpcfg[8] = {};     // unpacked cfg bytes
+  uint64_t pmpaddr[8] = {};
+};
+
+// The CSRs captured into HartSnapshot::csrs (architectural Get views).
+extern const uint16_t kComparedCsrs[];
+extern const unsigned kComparedCsrCount;
+
+// One taken trap, as seen by the Machine's trap observer.
+struct TrapEvent {
+  uint8_t hart = 0;
+  uint64_t cause = 0;
+  uint64_t pc = 0;  // post-vector pc (the handler entry)
+  uint64_t instret = 0;
+  uint64_t cycles = 0;
+
+  bool operator==(const TrapEvent&) const = default;
+};
+
+// Complete observable outcome of one program run on one configuration.
+struct RunOutcome {
+  std::string build_error;  // non-empty: the program failed to assemble (a bug)
+  bool finished = false;    // finisher fired (vs. instruction-budget exhaustion)
+  uint32_t exit_code = 0;
+  std::string uart;
+  uint64_t ram_hash = 0;  // FNV-1a over the whole RAM image
+  std::vector<HartSnapshot> harts;
+  std::vector<TrapEvent> traps;  // first kMaxTrapTrace events
+  uint64_t total_traps = 0;
+  // Reference-model lockstep (baseline configuration, single-hart programs only).
+  uint64_t ref_checks = 0;       // privileged steps checked against RefStep
+  std::string ref_divergence;    // first hart-vs-refmodel mismatch, empty if none
+};
+
+constexpr unsigned kMaxTrapTrace = 2048;
+
+// Runs `program` on `config`. `with_refmodel` engages the in-flight reference-model
+// check (forces the per-instruction loop; single-hart programs only).
+RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
+                      bool with_refmodel);
+
+// Returns a human-readable description of the first difference between two outcomes,
+// or an empty string if they are observably identical.
+std::string CompareOutcomes(const RunOutcome& a, const RunOutcome& b);
+
+// Runs `program` across all LockstepConfigs + the refmodel check and reports the
+// first divergence found.
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  // "<config>: <field diff>" or "refmodel: ..." when !ok
+};
+CheckResult CheckProgram(const CosimProgram& program);
+
+// ddmin-style minimization: repeatedly removes chunks of the kept-action set while
+// `still_fails` holds, calling it at most `max_runs` times. Returns the smallest
+// failing program found (keep set always non-empty).
+CosimProgram ShrinkProgram(const CosimProgram& program,
+                           const std::function<bool(const CosimProgram&)>& still_fails,
+                           unsigned max_runs = 250);
+
+}  // namespace vfm
+
+#endif  // SRC_COSIM_LOCKSTEP_H_

@@ -1,0 +1,26 @@
+// Deep verification sweeps (paper §6) with budgets an order of magnitude beyond the
+// tier-1 verif_test run. Registered under the `deep` ctest configuration/label so the
+// default test run stays fast; CI runs them in a dedicated job (`ctest -C deep`).
+
+#include <gtest/gtest.h>
+
+#include "src/verif/verif.h"
+
+namespace vfm {
+namespace {
+
+void ExpectClean(const VerifResult& result) {
+  EXPECT_EQ(result.mismatches, 0u) << result.task << ": " <<
+      (result.examples.empty() ? "" : result.examples.front());
+  EXPECT_GT(result.cases, 0u);
+}
+
+TEST(VerifDeepTest, CsrRead) { ExpectClean(Verifier().VerifyCsrRead(120)); }
+TEST(VerifDeepTest, CsrWrite) { ExpectClean(Verifier().VerifyCsrWrite(1000)); }
+TEST(VerifDeepTest, EndToEnd) { ExpectClean(Verifier().VerifyEndToEnd(400'000)); }
+TEST(VerifDeepTest, PmpFaithfulExecution) {
+  ExpectClean(Verifier().VerifyPmpFaithfulExecution(400, 128));
+}
+
+}  // namespace
+}  // namespace vfm

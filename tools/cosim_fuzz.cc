@@ -1,0 +1,193 @@
+// Co-simulation fuzzer CLI (DESIGN.md §2e). Generates seeded random guest programs
+// and runs each across every LockstepConfig (decode cache x TLB) plus the in-flight
+// reference-model check. On divergence, the failing program is ddmin-shrunk and saved
+// as a replayable seed file; `--replay <file>` reproduces it deterministically.
+//
+//   cosim_fuzz --programs 500 --seed 1            # fuzz 500 programs
+//   cosim_fuzz --replay cosim-fail-0x2a.cosim     # reproduce a recorded failure
+//   cosim_fuzz --corpus tests/corpus              # re-check pinned regression seeds
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/cosim/lockstep.h"
+#include "src/cosim/program.h"
+
+namespace {
+
+struct Options {
+  uint64_t programs = 200;
+  uint64_t seed = 1;
+  unsigned actions = 160;
+  uint64_t budget = 100'000;
+  int harts = 0;  // 0 = alternate 1/2
+  std::string replay;
+  std::string corpus;
+  std::string save_dir = ".";
+  bool shrink = true;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: cosim_fuzz [--programs N] [--seed S] [--actions N] [--budget N]\n"
+               "                  [--harts 1|2] [--replay FILE] [--corpus DIR]\n"
+               "                  [--save-dir DIR] [--no-shrink]\n");
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Runs one program; on divergence shrinks it, saves a seed file, and prints the
+// one-command reproduction line. Returns true when the program behaved identically
+// everywhere.
+bool CheckAndReport(const vfm::CosimProgram& program, const Options& opts,
+                    const char* origin) {
+  const vfm::CheckResult result = vfm::CheckProgram(program);
+  if (result.ok) {
+    return true;
+  }
+  std::fprintf(stderr, "DIVERGENCE (%s, seed 0x%" PRIx64 ", %u harts, %zu/%zu actions)\n  %s\n",
+               origin, program.seed, program.opts.harts, program.keep.size(),
+               program.actions.size(), result.detail.c_str());
+  vfm::CosimProgram minimal = program;
+  if (opts.shrink) {
+    minimal = vfm::ShrinkProgram(
+        program, [](const vfm::CosimProgram& p) { return !vfm::CheckProgram(p).ok; });
+    std::fprintf(stderr, "  shrunk to %zu actions: %s\n", minimal.keep.size(),
+                 vfm::CheckProgram(minimal).detail.c_str());
+  }
+  char name[96];
+  std::snprintf(name, sizeof name, "cosim-fail-0x%016" PRIx64 ".cosim", program.seed);
+  const std::string path = opts.save_dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << vfm::SaveSeedFile(minimal);
+  out.close();
+  std::fprintf(stderr, "  saved: %s\n  reproduce: cosim_fuzz --replay %s\n", path.c_str(),
+               path.c_str());
+  return false;
+}
+
+bool ReplayFile(const std::string& path, const Options& opts) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cosim_fuzz: cannot read %s\n", path.c_str());
+    return false;
+  }
+  const vfm::Result<vfm::CosimProgram> program = vfm::ParseSeedFile(text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "cosim_fuzz: %s: %s\n", path.c_str(), program.error().c_str());
+    return false;
+  }
+  Options replay_opts = opts;
+  replay_opts.shrink = false;  // the file is already minimal; just reproduce
+  if (CheckAndReport(program.value(), replay_opts, path.c_str())) {
+    std::printf("%s: no divergence (all configurations identical)\n", path.c_str());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--programs") {
+      opts.programs = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--actions") {
+      opts.actions = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--budget") {
+      opts.budget = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--harts") {
+      opts.harts = std::atoi(next());
+    } else if (arg == "--replay") {
+      opts.replay = next();
+    } else if (arg == "--corpus") {
+      opts.corpus = next();
+    } else if (arg == "--save-dir") {
+      opts.save_dir = next();
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  // Budget-exhausted runs are expected (and compared); silence the per-run warning.
+  vfm::SetLogLevel(vfm::LogLevel::kError);
+
+  if (!opts.replay.empty()) {
+    return ReplayFile(opts.replay, opts) ? 0 : 1;
+  }
+
+  unsigned failures = 0;
+  uint64_t checked = 0;
+
+  if (!opts.corpus.empty()) {
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(opts.corpus, ec)) {
+      if (entry.path().extension() == ".cosim") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      ++checked;
+      if (!ReplayFile(file, opts)) {
+        ++failures;
+      }
+    }
+    std::printf("corpus: %zu seed files checked\n", files.size());
+  }
+
+  for (uint64_t i = 0; i < opts.programs; ++i) {
+    vfm::GenOptions gen;
+    gen.num_actions = opts.actions;
+    gen.budget = opts.budget;
+    // Every third program runs two harts (WFI/IPI echo on hart 1) unless pinned.
+    gen.harts = opts.harts != 0 ? static_cast<unsigned>(opts.harts) : (i % 3 == 2 ? 2 : 1);
+    const vfm::CosimProgram program = vfm::GenerateProgram(opts.seed + i, gen);
+    ++checked;
+    if (!CheckAndReport(program, opts, "fuzz")) {
+      ++failures;
+    }
+    if ((i + 1) % 100 == 0) {
+      std::printf("... %" PRIu64 "/%" PRIu64 " programs, %u divergences\n", i + 1,
+                  opts.programs, failures);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("cosim_fuzz: %" PRIu64 " programs x %zu configurations, %u divergences\n", checked,
+              vfm::LockstepConfigs().size(), failures);
+  return failures == 0 ? 0 : 1;
+}
