@@ -111,6 +111,12 @@ void WriteSimSpeedJson() {
   const uint64_t start_misses = hart.decode_cache_misses();
   const uint64_t start_tlb_hits = hart.tlb_hits();
   const uint64_t start_tlb_misses = hart.tlb_misses();
+  const uint64_t start_sb_hits = hart.superblock_hits();
+  const uint64_t start_sb_misses = hart.superblock_misses();
+  const uint64_t start_sb_blocks = hart.superblock_blocks();
+  const uint64_t start_sb_instrs = hart.superblock_instrs();
+  const uint64_t start_fp_hits = hart.host_fastpath_hits();
+  const uint64_t start_fp_misses = hart.host_fastpath_misses();
   constexpr uint64_t kMeasured = 20'000'000;
   const auto t0 = std::chrono::steady_clock::now();
   system.machine->RunUntilFinished(kMeasured);
@@ -123,6 +129,12 @@ void WriteSimSpeedJson() {
   const uint64_t lookups = hits + misses;
   const uint64_t tlb_hits = hart.tlb_hits() - start_tlb_hits;
   const uint64_t tlb_lookups = tlb_hits + (hart.tlb_misses() - start_tlb_misses);
+  const uint64_t sb_hits = hart.superblock_hits() - start_sb_hits;
+  const uint64_t sb_lookups = sb_hits + (hart.superblock_misses() - start_sb_misses);
+  const uint64_t sb_blocks = hart.superblock_blocks() - start_sb_blocks;
+  const uint64_t sb_instrs = hart.superblock_instrs() - start_sb_instrs;
+  const uint64_t fp_hits = hart.host_fastpath_hits() - start_fp_hits;
+  const uint64_t fp_ops = fp_hits + (hart.host_fastpath_misses() - start_fp_misses);
 
   JsonResultWriter json("sim_speed");
   json.Add("instructions_retired", static_cast<double>(instructions));
@@ -133,6 +145,14 @@ void WriteSimSpeedJson() {
   json.Add("tlb_hit_rate",
            tlb_lookups > 0 ? static_cast<double>(tlb_hits) / static_cast<double>(tlb_lookups)
                            : 0.0);
+  json.Add("superblock_hit_rate",
+           sb_lookups > 0 ? static_cast<double>(sb_hits) / static_cast<double>(sb_lookups)
+                          : 0.0);
+  json.Add("mean_block_length",
+           sb_blocks > 0 ? static_cast<double>(sb_instrs) / static_cast<double>(sb_blocks)
+                         : 0.0);
+  json.Add("host_fastpath_hit_rate",
+           fp_ops > 0 ? static_cast<double>(fp_hits) / static_cast<double>(fp_ops) : 0.0);
   const char* path = "BENCH_sim_speed.json";
   if (json.WriteTo(path)) {
     std::printf("wrote %s (%.1f MIPS)\n", path,

@@ -23,10 +23,12 @@ const unsigned kComparedCsrCount = sizeof(kComparedCsrs) / sizeof(kComparedCsrs[
 
 const std::vector<LockstepConfig>& LockstepConfigs() {
   static const std::vector<LockstepConfig> kConfigs = {
-      {"nocache-notlb", 0, 0, false},      // baseline: every layer interpreted
-      {"dcache-notlb", 16384, 0, false},   // decode cache alone
-      {"nocache-tlb", 0, 4096, true},      // TLB alone
-      {"tiny-dcache-tlb", 64, 64, true},   // both, tiny: exercises aliasing eviction
+      {"nocache-notlb", 0, 0, false, 0},      // baseline: every layer interpreted
+      {"dcache-notlb", 16384, 0, false, 0},   // decode cache alone
+      {"nocache-tlb", 0, 4096, true, 0},      // TLB alone
+      {"tiny-dcache-tlb", 64, 64, true, 0},   // both, tiny: exercises aliasing eviction
+      {"superblock", 16384, 4096, true, 2048},  // full stack incl. block engine
+      {"tiny-superblock", 64, 64, true, 4},   // tiny everything: block aliasing + eviction
   };
   return kConfigs;
 }
@@ -184,7 +186,7 @@ void RunBaselineLoop(Machine& machine, const CosimProgram& program, RunOutcome* 
   const RefConfig ref_config{
       .pmp_entries = 8, .has_time_csr = true, .has_sstc = false, .has_custom_csrs = false};
   const uint64_t budget = program.opts.budget;
-  const uint64_t start = hart.instret();
+  uint64_t retired = 0;
   uint64_t rounds = 0;
   RefState ref;
   while (!machine.finisher().finished()) {
@@ -210,7 +212,7 @@ void RunBaselineLoop(Machine& machine, const CosimProgram& program, RunOutcome* 
         }
       }
     }
-    machine.StepAll();
+    retired += machine.StepAll();
     if (predicted) {
       ++out->ref_checks;
       const std::string diff = CompareHartVsRef(hart, ref_config, ref);
@@ -220,7 +222,7 @@ void RunBaselineLoop(Machine& machine, const CosimProgram& program, RunOutcome* 
       }
     }
     ++rounds;
-    if (hart.instret() - start >= budget || rounds >= 4 * budget) {
+    if (retired >= budget || rounds >= 4 * budget) {
       break;  // same budget semantics as RunUntilFinished
     }
   }
@@ -265,6 +267,7 @@ RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
   mc.tuning.decode_cache_entries = config.decode_cache_entries;
   mc.tuning.tlb_entries = config.tlb_entries;
   mc.tuning.tlb_enabled = config.tlb_enabled;
+  mc.tuning.superblock_entries = config.superblock_entries;
   mc.map.ram_size = CosimLayout::kRamSize;
   Machine machine(mc);
   machine.LoadImage(image.value().base, image.value().bytes);

@@ -1,8 +1,9 @@
 // Lockstep differential execution of generated guest programs (DESIGN.md §2e).
 //
 // One program is run to completion on several Machine configurations that differ
-// only in host-side tuning (decoded-instruction cache and software TLB on/off — knobs
-// documented as having no effect on simulated behaviour), and the complete observable
+// only in host-side tuning (decoded-instruction cache, software TLB, and superblock
+// engine on/off — knobs documented as having no effect on simulated behaviour), and
+// the complete observable
 // outcome of each run — final architectural state of every hart, retired-instruction
 // and cycle counts, the full trap trace, UART output, a RAM image hash, and the
 // finisher verdict — is compared field by field. The baseline configuration runs a
@@ -32,11 +33,12 @@ struct LockstepConfig {
   uint32_t decode_cache_entries;
   uint32_t tlb_entries;
   bool tlb_enabled;
+  uint32_t superblock_entries = 0;
 };
 
-// The four decode-cache x TLB configurations every program runs under. Index 0 is the
-// caches-off baseline; the last entry uses deliberately tiny caches so index-aliasing
-// eviction paths are exercised, not just hits.
+// The decode-cache x TLB x superblock configurations every program runs under. Index
+// 0 is the caches-off baseline; the "tiny" entries use deliberately small caches so
+// index-aliasing eviction paths are exercised, not just hits.
 const std::vector<LockstepConfig>& LockstepConfigs();
 
 // Architectural snapshot of one hart at end of run. Everything here must be identical

@@ -56,6 +56,9 @@ class BlockDev : public MmioDevice {
   void Tick(uint64_t now_ticks);
 
   bool busy() const { return (status_ & kStatusBusy) != 0; }
+  // Device tick at which the in-flight command completes; meaningful only while
+  // busy(). The machine's idle fast-forward uses it as a wake-up candidate.
+  uint64_t deadline() const { return deadline_; }
   uint64_t completed_commands() const { return completed_commands_; }
 
  private:

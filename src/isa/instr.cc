@@ -483,4 +483,78 @@ bool OpIsPrivileged(Op op) {
   }
 }
 
+SbClass SuperblockClass(Op op) {
+  switch (op) {
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kAddiw:
+    case Op::kSlliw:
+    case Op::kSrliw:
+    case Op::kSraiw:
+    case Op::kAddw:
+    case Op::kSubw:
+    case Op::kSllw:
+    case Op::kSrlw:
+    case Op::kSraw:
+    case Op::kMul:
+    case Op::kMulh:
+    case Op::kMulhsu:
+    case Op::kMulhu:
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kRem:
+    case Op::kRemu:
+    case Op::kMulw:
+    case Op::kDivw:
+    case Op::kDivuw:
+    case Op::kRemw:
+    case Op::kRemuw:
+      return SbClass::kSimple;
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLd:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+      return SbClass::kMem;
+    case Op::kJal:
+    case Op::kJalr:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return SbClass::kBranch;
+    default:
+      // CSR ops, ecall/ebreak, xRET, WFI, fences, AMOs, and undecodable words: all can
+      // trap, change translation/interrupt state, or need per-instruction ordering.
+      return SbClass::kBarrier;
+  }
+}
+
 }  // namespace vfm

@@ -60,6 +60,20 @@ struct DecodedInstr {
 // Decodes a 32-bit instruction word. Returns op == kInvalid for undecodable words.
 DecodedInstr Decode(uint32_t word);
 
+// How the hart's superblock execution engine (DESIGN.md §2f) may handle an op inside
+// a straight-line block. The split is driven by what can invalidate in-flight block
+// state: kSimple ops only touch GPRs, kMem ops touch memory (fast-pathed, with
+// fallback), kBranch ops redirect control (executed in-block as the block's final
+// instruction), and kBarrier ops can change privilege/CSR/translation/interrupt
+// state, so a block always ends before one.
+enum class SbClass : uint8_t {
+  kSimple = 0,
+  kMem = 1,
+  kBranch = 2,
+  kBarrier = 3,
+};
+SbClass SuperblockClass(Op op);
+
 }  // namespace vfm
 
 #endif  // SRC_ISA_INSTR_H_

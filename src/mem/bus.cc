@@ -19,6 +19,7 @@ Ram* Bus::AddRam(uint64_t base, uint64_t size) {
     VFM_CHECK_MSG(!overlaps, "RAM regions overlap");
   }
   ram_.push_back(std::make_unique<Ram>(base, size));
+  ++ram_generation_;  // invalidates any cached host page pointers via the TLB stamps
   if (ram_.size() == 1) {
     ram0_base_ = base;
     ram0_limit_ = size;
@@ -122,6 +123,20 @@ bool Bus::WriteBytes(uint64_t addr, const void* data, uint64_t size) {
 }
 
 bool Bus::IsRam(uint64_t addr, uint64_t size) const { return FindRam(addr, size) != nullptr; }
+
+bool Bus::HostPage(uint64_t paddr, uint8_t** data, const uint8_t** marks) const {
+  const uint64_t page_base = paddr & ~((uint64_t{1} << Ram::kPageShift) - 1);
+  const Ram* region = FindRam(page_base, uint64_t{1} << Ram::kPageShift);
+  if (region == nullptr || (region->base() & ((uint64_t{1} << Ram::kPageShift) - 1)) != 0) {
+    // A non-page-aligned region would split the frame across two mark slots.
+    return false;
+  }
+  Ram* mutable_region = const_cast<Ram*>(region);
+  const uint64_t offset = page_base - region->base();
+  *data = mutable_region->data() + offset;
+  *marks = mutable_region->page_marks() + (offset >> Ram::kPageShift);
+  return true;
+}
 
 void Bus::MarkExecPage(uint64_t paddr) {
   const Ram* region = FindRam(paddr, 1);

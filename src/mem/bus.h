@@ -145,6 +145,18 @@ class Bus {
   bool MarkPtPage(uint64_t paddr);
   uint64_t code_generation() const { return code_generation_; }
   uint64_t pt_generation() const { return pt_generation_; }
+  // Bumped whenever the set of RAM regions changes (AddRam). Folded into the harts'
+  // TLB stamps so cached host pointers (HostPage) can never survive a remap.
+  uint64_t ram_generation() const { return ram_generation_; }
+
+  // Host-pointer view of one whole 4 KiB RAM frame (the harts' in-block memory fast
+  // path, DESIGN.md §2f). On success, *data points at the frame's bytes and *marks at
+  // its dependency-mark byte (a fast store must take the slow path while the mark
+  // byte is non-zero, so generation bumps happen exactly as a bus write would).
+  // Fails when the frame is not fully contained in one page-aligned RAM region.
+  // Returned pointers stay valid for the life of the Bus — regions never move or
+  // shrink — and ram_generation() guards consumers against future region changes.
+  bool HostPage(uint64_t paddr, uint8_t** data, const uint8_t** marks) const;
 
   // Counts every access dispatched to an MMIO window (reads and writes, including
   // rejected ones). The batched run loop uses this to detect device interaction,
@@ -182,6 +194,7 @@ class Bus {
 
   uint64_t code_generation_ = 0;
   uint64_t pt_generation_ = 0;
+  uint64_t ram_generation_ = 0;
   bool any_marks_ = false;
   uint64_t mmio_ops_ = 0;
 };

@@ -40,6 +40,12 @@ struct SimTuning {
   // behaviour — `tlb_enabled` is kept as a separate switch for ablation runs.
   uint32_t tlb_entries = 4096;
   bool tlb_enabled = true;
+  // Entries in the per-hart superblock cache (DESIGN.md §2f): straight-line runs of
+  // already-decoded instructions executed by a tight dispatch loop that spills
+  // architectural counters only at block exits. Direct-mapped by start pc >> 2;
+  // rounded up to a power of two; 0 disables. Superblocks are built from decode-cache
+  // entries, so they are also implicitly disabled when decode_cache_entries == 0.
+  uint32_t superblock_entries = 2048;
 };
 
 // Cycle-cost model. The simulator is not micro-architecturally accurate; these

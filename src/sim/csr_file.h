@@ -63,6 +63,11 @@ class CsrFile {
   // comparator. The machine refreshes the lines each step.
   uint64_t EffectiveMip() const;
   void SetInterruptLine(InterruptCause cause, bool level);
+  // Current level of one hardware line, letting the machine skip redundant
+  // SetInterruptLine calls during its per-round refresh.
+  bool InterruptLineSet(InterruptCause cause) const {
+    return (mip_lines_ & InterruptMask(cause)) != 0;
+  }
   // Software view used by mip writes (the machine-owned lines are read-only there).
   uint64_t mip_sw() const { return mip_; }
   void set_mip_sw(uint64_t value) {

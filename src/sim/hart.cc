@@ -1,5 +1,7 @@
 #include "src/sim/hart.h"
 
+#include <cstring>
+
 #include "src/common/bits.h"
 #include "src/common/check.h"
 #include "src/common/log.h"
@@ -53,6 +55,16 @@ Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* 
     }
     tlb_mask_ = tlb_entries - 1;
   }
+  // The superblock cache builds from decode-cache entries, so it is only allocated
+  // when the decode cache exists.
+  uint64_t sb_entries = icache_mask_ != 0 ? tuning.superblock_entries : 0;
+  if (sb_entries != 0) {
+    while ((sb_entries & (sb_entries - 1)) != 0) {
+      sb_entries += sb_entries & -sb_entries;
+    }
+    sblocks_.resize(sb_entries);
+    sb_mask_ = sb_entries - 1;
+  }
 }
 
 uint64_t Hart::cache_stamp() const {
@@ -60,7 +72,9 @@ uint64_t Hart::cache_stamp() const {
 }
 
 uint64_t Hart::tlb_stamp() const {
-  return bus_->pt_generation() + csrs_.pmp().generation() + tlb_gen_;
+  // ram_generation() is folded in for the host-pointer fast path: a RAM remap must
+  // invalidate every cached host_page pointer before it can dangle or go stale.
+  return bus_->pt_generation() + csrs_.pmp().generation() + tlb_gen_ + bus_->ram_generation();
 }
 
 uint8_t Hart::TlbCtx(PrivMode priv, bool sum, bool mxr, AccessType type) {
@@ -200,6 +214,18 @@ Hart::AccessOutcome Hart::TranslateWith(const PmpBank& pmp, bool cacheable,
       }
       slot->ctx = TlbCtx(params.priv, params.sum, params.mxr, type);
       slot->pmp_whole_page = pmp.Check(slot->paddr_page, 4096, type, params.priv);
+      // Host-pointer fast path: only whole-page-permitted plain-RAM frames qualify,
+      // so a superblock access through host_page needs no per-access PMP or routing.
+      slot->host_page = nullptr;
+      slot->page_mark = nullptr;
+      if (slot->pmp_whole_page) {
+        uint8_t* data = nullptr;
+        const uint8_t* marks = nullptr;
+        if (bus_->HostPage(slot->paddr_page, &data, &marks)) {
+          slot->host_page = data;
+          slot->page_mark = marks;
+        }
+      }
       slot->stamp = tlb_stamp();
     }
   }
@@ -571,13 +597,528 @@ Hart::BatchResult Hart::RunBatch(uint64_t max_steps, uint64_t stop_cycles) {
   BatchResult batch;
   const uint64_t mmio_start = bus_->mmio_ops();
   while (true) {
+    // Superblock dispatch (DESIGN.md §2f). The gate re-establishes exactly the
+    // per-instruction Tick preconditions: not parked, aligned pc, and no pending
+    // enabled interrupt. Interrupt state cannot change inside a block — blocks
+    // contain no CSR ops, mtime and the interrupt lines only advance between
+    // batches, and an MMIO access ends the batch after its instruction — so one
+    // sample per dispatch observes everything per-instruction sampling would.
+    if (sb_mask_ != 0 && !waiting_ && IsAligned(pc_, 4) && !PendingInterrupt()) {
+      SuperblockEntry& sb = sblocks_[(pc_ >> 2) & sb_mask_];
+      const uint64_t effective_satp = virt_ ? csrs_.vsatp() : csrs_.satp();
+      bool valid = sb.tag == pc_ && sb.stamp == cache_stamp() && sb.satp == effective_satp &&
+                   sb.priv == static_cast<uint8_t>(priv_) && sb.virt == virt_;
+      if (valid && sb.open_end) {
+        // The block was cut short by a cold decode-cache slot. If the continuation
+        // has since been decoded, rebuild to extend. A rebuild can only commit a
+        // non-empty block, so the entry stays valid either way.
+        const uint64_t cont_pc = sb.tag + uint64_t{4} * sb.count;
+        const FetchEntry& cont = icache_[(cont_pc >> 2) & icache_mask_];
+        if (cont.tag == cont_pc && cont.stamp == sb.stamp && cont.satp == sb.satp &&
+            cont.priv == sb.priv && cont.virt == sb.virt) {
+          FillSuperblock(&sb);
+        }
+      }
+      if (valid) {
+        ++sb_hits_;
+      } else {
+        ++sb_misses_;
+        valid = FillSuperblock(&sb);
+      }
+      if (valid) {
+        const SbRun run = ExecuteSuperblock(sb, max_steps - batch.executed, stop_cycles);
+        batch.executed += run.dispatched;
+        batch.retired += run.dispatched - (run.last.trapped ? 1 : 0);
+        batch.last = run.last;
+        if (run.end_batch || batch.executed >= max_steps ||
+            csrs_.mcycle() >= stop_cycles || bus_->mmio_ops() != mmio_start) {
+          return batch;
+        }
+        continue;
+      }
+      // Cold decode-cache slot at pc_: one per-instruction tick decodes it, after
+      // which the next lookup can build the block.
+    }
     batch.last = Tick();
     ++batch.executed;
+    if (batch.last.executed && !batch.last.trapped) {
+      ++batch.retired;
+    }
     if (batch.last.trapped || batch.last.waiting || batch.executed >= max_steps ||
         csrs_.mcycle() >= stop_cycles || bus_->mmio_ops() != mmio_start) {
       return batch;
     }
   }
+}
+
+bool Hart::FillSuperblock(SuperblockEntry* sb) {
+  const uint64_t stamp = cache_stamp();
+  const uint64_t effective_satp = virt_ ? csrs_.vsatp() : csrs_.satp();
+  const uint8_t priv = static_cast<uint8_t>(priv_);
+  uint64_t pc = pc_;
+  unsigned count = 0;
+  bool open_end = false;
+  // Capture straight-line decode-cache entries until a block-ending condition. Every
+  // member must pass the full FetchEntry hit condition under one stamp — that single
+  // check at build time, plus the stamp compare at dispatch, is what proves the whole
+  // block is still exactly what per-instruction fetch would execute. Nothing is
+  // written until at least one instruction is captured, so a failed (re)build never
+  // damages the existing entry.
+  while (count < kMaxSuperblockLen) {
+    const FetchEntry& entry = icache_[(pc >> 2) & icache_mask_];
+    if (!(entry.tag == pc && entry.stamp == stamp && entry.satp == effective_satp &&
+          entry.priv == priv && entry.virt == virt_)) {
+      open_end = true;  // cold/stale continuation: retry extension once it warms up
+      break;
+    }
+    const SbClass cls = SuperblockClass(entry.instr.op);
+    if (cls == SbClass::kBarrier) {
+      break;  // privileged/CSR/fence/AMO ops always run through the Tick path
+    }
+    BlockInstr& bi = sb->instrs[count];
+    bi.instr = entry.instr;
+    bi.extra_cycles = entry.extra_cycles;
+    bi.cls = cls;
+    ++count;
+    if (cls == SbClass::kBranch) {
+      break;  // a branch is executed in-block as the final instruction
+    }
+    pc += 4;
+    if ((pc & MaskLow(12)) == 0) {
+      break;  // the next pc starts a new page and may translate differently
+    }
+  }
+  if (count == 0) {
+    return false;
+  }
+  sb->tag = pc_;
+  sb->stamp = stamp;
+  sb->satp = effective_satp;
+  sb->count = static_cast<uint16_t>(count);
+  sb->open_end = open_end;
+  sb->priv = priv;
+  sb->virt = virt_;
+  return true;
+}
+
+void Hart::BuildFastMemCtx(FastMemCtx* ctx) const {
+  // Mirrors Translate(): effective privilege/address space (honoring MPRV), the satp
+  // the walk would use, and the SUM/MXR context bytes. All of these are fixed for the
+  // life of one block dispatch: they only change via CSR ops, traps, or xRETs, which
+  // are barriers (or end the block).
+  ctx->built = true;
+  const PrivMode priv = DataPriv();
+  const bool use_vsatp = DataVirt();
+  const uint64_t satp = use_vsatp ? csrs_.vsatp() : csrs_.satp();
+  ctx->engaged =
+      tlb_mask_ != 0 && priv != PrivMode::kMachine &&
+      ExtractBits(satp, SatpBits::kModeHi, SatpBits::kModeLo) == SatpBits::kModeSv39;
+  if (!ctx->engaged) {
+    return;
+  }
+  ctx->satp = satp;
+  const uint64_t status = use_vsatp ? csrs_.Get(kCsrVsstatus) : csrs_.mstatus();
+  const bool sum = Bit(status, MstatusBits::kSum) != 0;
+  const bool mxr = Bit(status, MstatusBits::kMxr) != 0;
+  ctx->load_ctx = TlbCtx(priv, sum, mxr, AccessType::kLoad);
+  ctx->store_ctx = TlbCtx(priv, sum, mxr, AccessType::kStore);
+}
+
+Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_left,
+                                    uint64_t stop_cycles) {
+  SbRun run;
+  ++sb_blocks_;
+  const uint64_t mmio_start = bus_->mmio_ops();
+  const uint64_t base_cost = cost_->instr_base;
+  FastMemCtx mem_ctx;
+  // Architectural counters and the pc live in locals while inside the block; they are
+  // spilled to csrs_/pc_ only at block exits and around slow-path memory ops. The
+  // stop checks below compare cycles_base + cycles, which is exactly what mcycle()
+  // would read if spilled, so batch boundaries land on the same instruction as the
+  // per-instruction loop.
+  uint64_t pc = pc_;
+  uint64_t cycles = 0;
+  uint64_t retired = 0;
+  uint64_t cycles_base = csrs_.mcycle();
+  uint64_t last_cycles = 0;
+  unsigned i = 0;
+
+  while (true) {
+    const BlockInstr& bi = sb.instrs[i];
+    const DecodedInstr& d = bi.instr;
+    uint64_t next_pc = pc + 4;
+    uint64_t instr_cycles = base_cost + bi.extra_cycles;
+
+    if (bi.cls == SbClass::kSimple) {
+      const uint64_t rs1 = gpr_[d.rs1];
+      const uint64_t rs2 = gpr_[d.rs2];
+      switch (d.op) {
+        case Op::kLui:
+          set_gpr(d.rd, static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kAuipc:
+          set_gpr(d.rd, pc + static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kAddi:
+          set_gpr(d.rd, rs1 + static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kSlti:
+          set_gpr(d.rd, static_cast<int64_t>(rs1) < d.imm ? 1 : 0);
+          break;
+        case Op::kSltiu:
+          set_gpr(d.rd, rs1 < static_cast<uint64_t>(d.imm) ? 1 : 0);
+          break;
+        case Op::kXori:
+          set_gpr(d.rd, rs1 ^ static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kOri:
+          set_gpr(d.rd, rs1 | static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kAndi:
+          set_gpr(d.rd, rs1 & static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kSlli:
+          set_gpr(d.rd, rs1 << (d.imm & 63));
+          break;
+        case Op::kSrli:
+          set_gpr(d.rd, rs1 >> (d.imm & 63));
+          break;
+        case Op::kSrai:
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (d.imm & 63)));
+          break;
+        case Op::kAdd:
+          set_gpr(d.rd, rs1 + rs2);
+          break;
+        case Op::kSub:
+          set_gpr(d.rd, rs1 - rs2);
+          break;
+        case Op::kSll:
+          set_gpr(d.rd, rs1 << (rs2 & 63));
+          break;
+        case Op::kSlt:
+          set_gpr(d.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
+          break;
+        case Op::kSltu:
+          set_gpr(d.rd, rs1 < rs2 ? 1 : 0);
+          break;
+        case Op::kXor:
+          set_gpr(d.rd, rs1 ^ rs2);
+          break;
+        case Op::kSrl:
+          set_gpr(d.rd, rs1 >> (rs2 & 63));
+          break;
+        case Op::kSra:
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
+          break;
+        case Op::kOr:
+          set_gpr(d.rd, rs1 | rs2);
+          break;
+        case Op::kAnd:
+          set_gpr(d.rd, rs1 & rs2);
+          break;
+        case Op::kAddiw:
+          set_gpr(d.rd, SignExtend((rs1 + static_cast<uint64_t>(d.imm)) & 0xFFFFFFFF, 32));
+          break;
+        case Op::kSlliw:
+          set_gpr(d.rd, SignExtend((rs1 << (d.imm & 31)) & 0xFFFFFFFF, 32));
+          break;
+        case Op::kSrliw:
+          set_gpr(d.rd, SignExtend((rs1 & 0xFFFFFFFF) >> (d.imm & 31), 32));
+          break;
+        case Op::kSraiw:
+          set_gpr(d.rd, static_cast<uint64_t>(
+                            static_cast<int64_t>(static_cast<int32_t>(rs1)) >> (d.imm & 31)));
+          break;
+        case Op::kAddw:
+          set_gpr(d.rd, SignExtend((rs1 + rs2) & 0xFFFFFFFF, 32));
+          break;
+        case Op::kSubw:
+          set_gpr(d.rd, SignExtend((rs1 - rs2) & 0xFFFFFFFF, 32));
+          break;
+        case Op::kSllw:
+          set_gpr(d.rd, SignExtend((rs1 << (rs2 & 31)) & 0xFFFFFFFF, 32));
+          break;
+        case Op::kSrlw:
+          set_gpr(d.rd, SignExtend((rs1 & 0xFFFFFFFF) >> (rs2 & 31), 32));
+          break;
+        case Op::kSraw:
+          set_gpr(d.rd, static_cast<uint64_t>(
+                            static_cast<int64_t>(static_cast<int32_t>(rs1)) >> (rs2 & 31)));
+          break;
+        case Op::kMul:
+          set_gpr(d.rd, rs1 * rs2);
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        case Op::kMulh: {
+          const __int128 a = static_cast<int64_t>(rs1);
+          const __int128 b = static_cast<int64_t>(rs2);
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<unsigned __int128>(a * b) >> 64));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kMulhsu: {
+          const __int128 a = static_cast<int64_t>(rs1);
+          const __int128 b = static_cast<__int128>(rs2);
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<unsigned __int128>(a * b) >> 64));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kMulhu: {
+          const unsigned __int128 a = rs1;
+          const unsigned __int128 b = rs2;
+          set_gpr(d.rd, static_cast<uint64_t>((a * b) >> 64));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kDiv: {
+          const int64_t a = static_cast<int64_t>(rs1);
+          const int64_t b = static_cast<int64_t>(rs2);
+          uint64_t q;
+          if (b == 0) {
+            q = ~uint64_t{0};
+          } else if (a == INT64_MIN && b == -1) {
+            q = static_cast<uint64_t>(a);
+          } else {
+            q = static_cast<uint64_t>(a / b);
+          }
+          set_gpr(d.rd, q);
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kDivu:
+          set_gpr(d.rd, rs2 == 0 ? ~uint64_t{0} : rs1 / rs2);
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        case Op::kRem: {
+          const int64_t a = static_cast<int64_t>(rs1);
+          const int64_t b = static_cast<int64_t>(rs2);
+          uint64_t r;
+          if (b == 0) {
+            r = rs1;
+          } else if (a == INT64_MIN && b == -1) {
+            r = 0;
+          } else {
+            r = static_cast<uint64_t>(a % b);
+          }
+          set_gpr(d.rd, r);
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kRemu:
+          set_gpr(d.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        case Op::kMulw:
+          set_gpr(d.rd, SignExtend((rs1 * rs2) & 0xFFFFFFFF, 32));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        case Op::kDivw: {
+          const int32_t a = static_cast<int32_t>(rs1);
+          const int32_t b = static_cast<int32_t>(rs2);
+          int32_t q;
+          if (b == 0) {
+            q = -1;
+          } else if (a == INT32_MIN && b == -1) {
+            q = a;
+          } else {
+            q = a / b;
+          }
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(q)));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kDivuw: {
+          const uint32_t a = static_cast<uint32_t>(rs1);
+          const uint32_t b = static_cast<uint32_t>(rs2);
+          const uint32_t q = b == 0 ? ~uint32_t{0} : a / b;
+          set_gpr(d.rd, SignExtend(q, 32));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kRemw: {
+          const int32_t a = static_cast<int32_t>(rs1);
+          const int32_t b = static_cast<int32_t>(rs2);
+          int32_t r;
+          if (b == 0) {
+            r = a;
+          } else if (a == INT32_MIN && b == -1) {
+            r = 0;
+          } else {
+            r = a % b;
+          }
+          set_gpr(d.rd, static_cast<uint64_t>(static_cast<int64_t>(r)));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        case Op::kRemuw: {
+          const uint32_t a = static_cast<uint32_t>(rs1);
+          const uint32_t b = static_cast<uint32_t>(rs2);
+          const uint32_t r = b == 0 ? a : a % b;
+          set_gpr(d.rd, SignExtend(r, 32));
+          instr_cycles += cost_->instr_muldiv;
+          break;
+        }
+        default:
+          break;  // unreachable: FillSuperblock only classifies the ops above kSimple
+      }
+    } else if (bi.cls == SbClass::kBranch) {
+      const uint64_t rs1 = gpr_[d.rs1];
+      const uint64_t rs2 = gpr_[d.rs2];
+      switch (d.op) {
+        case Op::kJal:
+          set_gpr(d.rd, next_pc);
+          next_pc = pc + static_cast<uint64_t>(d.imm);
+          break;
+        case Op::kJalr: {
+          const uint64_t target = (rs1 + static_cast<uint64_t>(d.imm)) & ~uint64_t{1};
+          set_gpr(d.rd, next_pc);
+          next_pc = target;
+          break;
+        }
+        case Op::kBeq:
+          if (rs1 == rs2) next_pc = pc + static_cast<uint64_t>(d.imm);
+          break;
+        case Op::kBne:
+          if (rs1 != rs2) next_pc = pc + static_cast<uint64_t>(d.imm);
+          break;
+        case Op::kBlt:
+          if (static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2)) {
+            next_pc = pc + static_cast<uint64_t>(d.imm);
+          }
+          break;
+        case Op::kBge:
+          if (static_cast<int64_t>(rs1) >= static_cast<int64_t>(rs2)) {
+            next_pc = pc + static_cast<uint64_t>(d.imm);
+          }
+          break;
+        case Op::kBltu:
+          if (rs1 < rs2) next_pc = pc + static_cast<uint64_t>(d.imm);
+          break;
+        case Op::kBgeu:
+          if (rs1 >= rs2) next_pc = pc + static_cast<uint64_t>(d.imm);
+          break;
+        default:
+          break;  // unreachable
+      }
+    } else {  // SbClass::kMem
+      if (!mem_ctx.built) {
+        BuildFastMemCtx(&mem_ctx);
+      }
+      const uint64_t vaddr = gpr_[d.rs1] + static_cast<uint64_t>(d.imm);
+      const unsigned size = AccessSizeOf(d.op);
+      const bool is_store = IsStoreOp(d.op);
+      bool fast = false;
+      if (mem_ctx.engaged && IsAligned(vaddr, size)) {
+        TlbEntry& slot =
+            tlb_[static_cast<unsigned>(is_store ? AccessType::kStore : AccessType::kLoad)]
+                [(vaddr >> 12) & tlb_mask_];
+        // Full TLB hit condition, re-checked per access (a slow-path store earlier in
+        // this very block may have bumped a generation). host_page != nullptr implies
+        // pmp_whole_page, and an aligned power-of-two access never leaves the frame,
+        // so no per-access PMP scan is needed. A store must additionally see a clean
+        // mark byte: writes to exec-/PT-marked pages go through Bus::Write so the
+        // dependency generations bump exactly as the slow path would.
+        if (slot.vpage == vaddr >> 12 && slot.satp == mem_ctx.satp &&
+            slot.ctx == (is_store ? mem_ctx.store_ctx : mem_ctx.load_ctx) &&
+            slot.stamp == tlb_stamp() && slot.host_page != nullptr &&
+            (!is_store || *slot.page_mark == 0)) {
+          ++tlb_hits_;  // parity: the slow path's Translate would count this hit
+          ++fastmem_hits_;
+          const uint64_t offset = vaddr & MaskLow(12);
+          if (is_store) {
+            std::memcpy(slot.host_page + offset, &gpr_[d.rs2], size);
+            if (reservation_) {
+              const uint64_t paddr = slot.paddr_page | offset;
+              if (AlignDown(*reservation_, 8) == AlignDown(paddr, 8)) {
+                reservation_.reset();
+              }
+            }
+          } else {
+            uint64_t value = 0;
+            std::memcpy(&value, slot.host_page + offset, size);
+            switch (d.op) {
+              case Op::kLb:
+                value = SignExtend(value, 8);
+                break;
+              case Op::kLh:
+                value = SignExtend(value, 16);
+                break;
+              case Op::kLw:
+                value = SignExtend(value, 32);
+                break;
+              default:
+                break;
+            }
+            set_gpr(d.rd, value);
+          }
+          instr_cycles += cost_->instr_mem + slot.extra_cycles;
+          fast = true;
+        }
+      }
+      if (!fast) {
+        // Slow path: spill the exact architectural state (TakeTrap records pc_ into
+        // xepc; the bus path may recurse into translation), run the op through the
+        // ordinary interpreter helper, and re-base the local counters after.
+        ++fastmem_misses_;
+        pc_ = pc;
+        csrs_.AddInstret(retired);
+        csrs_.AddCycles(cycles);
+        retired = 0;
+        cycles = 0;
+        StepResult r = ExecuteLoadStore(d);
+        r.cycles += bi.extra_cycles;  // the member's replayed fetch-walk cost
+        if (!r.trapped) {
+          csrs_.AddInstret(1);
+        }
+        csrs_.AddCycles(r.cycles);
+        ++run.dispatched;
+        ++i;
+        if (r.trapped) {
+          // pc_ was vectored by TakeTrap; counters are already spilled.
+          run.end_batch = true;
+          run.last = r;
+          icache_hits_ += run.dispatched;
+          sb_instrs_ += run.dispatched;
+          return run;
+        }
+        pc = pc_;  // the helper retired to the next sequential pc
+        cycles_base = csrs_.mcycle();
+        const bool mmio = bus_->mmio_ops() != mmio_start;
+        const bool stale = cache_stamp() != sb.stamp;
+        if (mmio || stale || i >= sb.count || run.dispatched >= steps_left ||
+            cycles_base >= stop_cycles) {
+          // `stale` abandons the block (a store invalidated code this block may
+          // contain) without ending the batch: RunBatch re-validates and rebuilds.
+          run.end_batch = mmio;
+          run.last = r;
+          icache_hits_ += run.dispatched;
+          sb_instrs_ += run.dispatched;
+          return run;
+        }
+        continue;
+      }
+    }
+
+    pc = next_pc;
+    cycles += instr_cycles;
+    ++retired;
+    ++run.dispatched;
+    ++i;
+    if (i >= sb.count || run.dispatched >= steps_left ||
+        cycles_base + cycles >= stop_cycles) {
+      last_cycles = instr_cycles;
+      break;
+    }
+  }
+
+  pc_ = pc;
+  csrs_.AddInstret(retired);
+  csrs_.AddCycles(cycles);
+  icache_hits_ += run.dispatched;
+  sb_instrs_ += run.dispatched;
+  run.last.executed = true;
+  run.last.cycles = last_cycles;
+  return run;
 }
 
 StepResult Hart::Execute(const DecodedInstr& d) {

@@ -70,6 +70,7 @@ class Hart {
   // batched execution cycle- and behaviour-identical to per-instruction stepping.
   struct BatchResult {
     uint64_t executed = 0;  // ticks run, including the final one
+    uint64_t retired = 0;   // instructions retired (executed ticks that did not trap)
     StepResult last;        // result of the final tick
   };
   BatchResult RunBatch(uint64_t max_steps, uint64_t stop_cycles);
@@ -123,6 +124,22 @@ class Hart {
   uint64_t tlb_hits() const { return tlb_hits_; }
   uint64_t tlb_misses() const { return tlb_misses_; }
   uint64_t tlb_flushes() const { return tlb_flushes_; }
+
+  // Superblock engine counters (DESIGN.md §2f). A superblock "hit" is a dispatch into
+  // a valid cached block; a "miss" is a lookup that had to (re)build one. Mean block
+  // length is superblock_instrs()/superblock_blocks(). None of these affect the
+  // decode-cache counters: every instruction dispatched from a block still counts one
+  // decode-cache hit, keeping hit-rate parity with the per-instruction loop.
+  uint64_t superblock_hits() const { return sb_hits_; }
+  uint64_t superblock_misses() const { return sb_misses_; }
+  uint64_t superblock_blocks() const { return sb_blocks_; }
+  uint64_t superblock_instrs() const { return sb_instrs_; }
+
+  // Host-pointer memory fast path counters: hits are loads/stores completed directly
+  // against cached host RAM pointers inside a superblock; misses are in-block memory
+  // ops that fell back to the full Translate+Bus path.
+  uint64_t host_fastpath_hits() const { return fastmem_hits_; }
+  uint64_t host_fastpath_misses() const { return fastmem_misses_; }
 
   // Drops every TLB entry (generation bump). Called for sfence.vma rs1=x0, hfences,
   // and by the monitor on world switches and remote-fence delivery.
@@ -183,6 +200,62 @@ class Hart {
     // same entry with the same verdict, and the stamp folds in the bank's
     // generation, so any PMP write invalidates the entry before it can lie.
     bool pmp_whole_page = false;
+    // Host-pointer fast path (DESIGN.md §2f): when non-null, the frame is plain RAM
+    // and superblock memory ops may access `host_page` directly, provided
+    // pmp_whole_page holds and `*page_mark` is zero (a marked page must go through
+    // Bus::Write so dependency generations bump). Only set when pmp_whole_page; the
+    // stamp folds in Bus::ram_generation() so pointers never outlive a RAM remap.
+    uint8_t* host_page = nullptr;
+    const uint8_t* page_mark = nullptr;
+  };
+
+  // One pre-validated instruction of a superblock: the decoded instruction, its
+  // replayed fetch-walk cycles, and its dispatch class.
+  struct BlockInstr {
+    DecodedInstr instr;
+    uint64_t extra_cycles = 0;
+    SbClass cls = SbClass::kBarrier;
+  };
+
+  static constexpr unsigned kMaxSuperblockLen = 64;
+
+  // One slot of the superblock cache: a straight-line run of decode-cache entries
+  // captured under one validity stamp. The key/stamp discipline is exactly
+  // FetchEntry's — the block is valid iff every member FetchEntry would still hit —
+  // which holds because all members were verified valid at build time under the same
+  // (stamp, satp, priv, virt) and any event that could invalidate one bumps a counter
+  // folded into cache_stamp(). Ends at the first kBarrier op (excluded), at a kBranch
+  // (included: executed in-block as the final instruction), at a 4 KiB page boundary
+  // (the next pc may translate differently), or at kMaxSuperblockLen. `open_end` marks
+  // a block cut short by a cold decode-cache slot; a later dispatch retries the build
+  // to extend it once the continuation has been decoded.
+  struct SuperblockEntry {
+    uint64_t tag = ~uint64_t{0};  // starting virtual pc
+    uint64_t stamp = 0;           // cache_stamp() at build time
+    uint64_t satp = 0;            // effective satp at build time
+    uint16_t count = 0;
+    bool open_end = false;
+    uint8_t priv = 0;
+    bool virt = false;
+    BlockInstr instrs[kMaxSuperblockLen];
+  };
+
+  // Data-access translation context captured once per block dispatch. Valid for the
+  // whole block because priv/virt/mstatus/satp can only change at barriers or traps,
+  // both of which end the block.
+  struct FastMemCtx {
+    bool built = false;
+    bool engaged = false;  // paged translation active for data accesses
+    uint64_t satp = 0;
+    uint8_t load_ctx = 0;
+    uint8_t store_ctx = 0;
+  };
+
+  // Outcome of one superblock dispatch, consumed by RunBatch.
+  struct SbRun {
+    uint64_t dispatched = 0;  // ticks consumed (== instructions dispatched)
+    bool end_batch = false;   // batch must end (trap, WFI, MMIO, ...)
+    StepResult last;          // result of the final tick, RunBatch-compatible
   };
 
   // Sum of the three monotonic invalidation counters: stores into exec-marked pages
@@ -191,9 +264,10 @@ class Hart {
   uint64_t cache_stamp() const;
 
   // TLB analogue of cache_stamp(): stores into PT-marked pages (bus), physical PMP
-  // reconfiguration (a walk's per-PTE PMP checks depend on the bank), and explicit
-  // full flushes. satp writes and privilege/SUM/MXR changes need no counter — they
-  // are part of each entry's key.
+  // reconfiguration (a walk's per-PTE PMP checks depend on the bank), explicit full
+  // flushes, and RAM-region changes (which would dangle cached host_page pointers).
+  // satp writes and privilege/SUM/MXR changes need no counter — they are part of
+  // each entry's key.
   uint64_t tlb_stamp() const;
 
   // Packs the walk-relevant translation context into an entry key byte. SUM only
@@ -224,6 +298,16 @@ class Hart {
   StepResult IllegalInstr(const DecodedInstr& instr);
   StepResult Retire(uint64_t next_pc, uint64_t cycles);
 
+  // Builds (or rebuilds) the superblock starting at pc_ from currently-valid
+  // decode-cache entries. Returns false if not even one instruction could be
+  // captured (cold or stale decode-cache slot at pc_).
+  bool FillSuperblock(SuperblockEntry* sb);
+  // Dispatches through `sb`, retiring up to steps_left instructions or until
+  // stop_cycles, a trap, or a slow-path event ends the block or the batch.
+  SbRun ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_left,
+                          uint64_t stop_cycles);
+  void BuildFastMemCtx(FastMemCtx* ctx) const;
+
   unsigned index_;
   Bus* bus_;
   const CostModel* cost_;
@@ -253,6 +337,18 @@ class Hart {
   uint64_t tlb_hits_ = 0;
   uint64_t tlb_misses_ = 0;
   uint64_t tlb_flushes_ = 0;
+
+  // Superblock cache (direct-mapped, indexed by start pc >> 2). Empty when disabled;
+  // sb_mask_ == 0 doubles as the "disabled" flag. Requires the decode cache: blocks
+  // are built from, and validated against, its entries.
+  std::vector<SuperblockEntry> sblocks_;
+  uint64_t sb_mask_ = 0;
+  uint64_t sb_hits_ = 0;
+  uint64_t sb_misses_ = 0;
+  uint64_t sb_blocks_ = 0;
+  uint64_t sb_instrs_ = 0;
+  uint64_t fastmem_hits_ = 0;
+  uint64_t fastmem_misses_ = 0;
 };
 
 }  // namespace vfm

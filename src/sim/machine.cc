@@ -64,18 +64,34 @@ bool Machine::LoadImage(uint64_t addr, const std::vector<uint8_t>& image) {
 }
 
 void Machine::RefreshInterruptLines() {
+  // Writing a line is idempotent but not free (mask, merge); on the hot path almost
+  // every round leaves every line unchanged, so compare against the CSR file's true
+  // line state and touch only lines whose level actually flipped.
   for (unsigned i = 0; i < hart_count(); ++i) {
     CsrFile& csrs = harts_[i]->csrs();
-    csrs.SetInterruptLine(InterruptCause::kMachineTimer, clint_->MtipPending(i));
-    csrs.SetInterruptLine(InterruptCause::kMachineSoftware, clint_->MsipPending(i));
-    csrs.SetInterruptLine(InterruptCause::kSupervisorExternal, plic_->SeipPending(i));
+    const bool mtip = clint_->MtipPending(i);
+    if (csrs.InterruptLineSet(InterruptCause::kMachineTimer) != mtip) {
+      csrs.SetInterruptLine(InterruptCause::kMachineTimer, mtip);
+    }
+    const bool msip = clint_->MsipPending(i);
+    if (csrs.InterruptLineSet(InterruptCause::kMachineSoftware) != msip) {
+      csrs.SetInterruptLine(InterruptCause::kMachineSoftware, msip);
+    }
+    const bool seip = plic_->SeipPending(i);
+    if (csrs.InterruptLineSet(InterruptCause::kSupervisorExternal) != seip) {
+      csrs.SetInterruptLine(InterruptCause::kSupervisorExternal, seip);
+    }
   }
 }
 
-void Machine::StepAll() {
+uint64_t Machine::StepAll() {
   RefreshInterruptLines();
+  uint64_t retired = 0;
   for (auto& hart : harts_) {
     const StepResult result = hart->Tick();
+    if (result.executed && !result.trapped) {
+      ++retired;
+    }
     if (result.trapped) {
       if (trap_observer_) {
         trap_observer_(*hart, result);
@@ -94,6 +110,71 @@ void Machine::StepAll() {
   if (blockdev_) {
     blockdev_->Tick(clint_->mtime());
   }
+  return retired;
+}
+
+uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
+  if (max_rounds == 0) {
+    return 0;
+  }
+  // Only a machine where every hart is parked with nothing pending can skip: any
+  // enabled pending interrupt wakes its hart on the very next tick.
+  RefreshInterruptLines();
+  for (const auto& hart : harts_) {
+    if (!hart->waiting() || (hart->csrs().EffectiveMip() & hart->csrs().mie()) != 0) {
+      return 0;
+    }
+  }
+  // Earliest future event that can change interrupt state, in mtime ticks. While all
+  // harts are parked only the timer comparators and the block device move on their
+  // own; everything else needs an instruction to execute. Candidates are conservative
+  // — a comparator counts even if its interrupt is masked or (for Sstc) the STCE
+  // enable is off. Waking early just re-parks and fast-forwards again; it never
+  // skips an event.
+  const uint64_t mtime = clint_->mtime();
+  uint64_t wake_tick = 0;
+  bool have_wake = false;
+  const auto consider = [&](uint64_t tick) {
+    if (tick > mtime && (!have_wake || tick < wake_tick)) {
+      wake_tick = tick;
+      have_wake = true;
+    }
+  };
+  for (unsigned i = 0; i < hart_count(); ++i) {
+    consider(clint_->mtimecmp(i));
+    if (config_.isa.has_sstc) {
+      consider(harts_[i]->csrs().stimecmp());
+    }
+  }
+  if (blockdev_ && blockdev_->busy()) {
+    consider(blockdev_->deadline());
+  }
+  // A parked round charges exactly one cycle per hart, and mtime reaches wake_tick on
+  // the round where hart 0's clock reaches wake_tick * mtime_tick_cycles — jump every
+  // clock exactly there. With no candidate nothing will ever wake the machine, so
+  // burn the caller's whole round budget at once.
+  uint64_t skip = max_rounds;
+  const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
+  if (have_wake && wake_tick <= ~uint64_t{0} / tick_cycles) {
+    const uint64_t wake_cycles = wake_tick * tick_cycles;
+    const uint64_t now = harts_[0]->cycles();
+    if (wake_cycles <= now) {
+      return 0;  // software moved the timebase around; fall back to normal rounds
+    }
+    skip = wake_cycles - now < max_rounds ? wake_cycles - now : max_rounds;
+  }
+  for (auto& hart : harts_) {
+    hart->csrs().AddCycles(skip);
+  }
+  const uint64_t now = harts_[0]->cycles();
+  const uint64_t ticks_due = now / tick_cycles;
+  if (ticks_due > clint_->mtime()) {
+    clint_->set_mtime(ticks_due);
+  }
+  if (blockdev_) {
+    blockdev_->Tick(clint_->mtime());
+  }
+  return skip;
 }
 
 bool Machine::RunUntilFinished(uint64_t max_instructions) {
@@ -103,17 +184,18 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
     return RunUntil([] { return false; }, max_instructions);
   }
   Hart& hart = *harts_[0];
-  const uint64_t start = hart.instret();
   const uint64_t max_batch =
       config_.tuning.max_batch_instructions > 0 ? config_.tuning.max_batch_instructions : 1;
+  const uint64_t round_cap = 4 * max_instructions;
+  uint64_t retired = 0;
   uint64_t rounds = 0;
   while (!finisher_->finished()) {
     RefreshInterruptLines();
     // Batch size: the configured cap, clamped so the batch cannot overshoot either
     // the instruction budget or the round bound (a batch tick == one StepAll round).
     uint64_t n = max_batch;
-    const uint64_t instret_left = max_instructions - (hart.instret() - start);
-    const uint64_t rounds_left = 4 * max_instructions - rounds;
+    const uint64_t instret_left = max_instructions - retired;
+    const uint64_t rounds_left = round_cap - rounds;
     n = n < instret_left ? n : instret_left;
     n = n < rounds_left ? n : rounds_left;
     if (n == 0) {
@@ -129,6 +211,7 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
     const uint64_t stop_cycles = (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
     const Hart::BatchResult batch = hart.RunBatch(n, stop_cycles);
     rounds += batch.executed;
+    retired += batch.retired;
     if (batch.last.trapped) {
       if (trap_observer_) {
         trap_observer_(hart, batch.last);
@@ -145,7 +228,13 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
     if (blockdev_) {
       blockdev_->Tick(clint_->mtime());
     }
-    if (hart.instret() - start >= max_instructions || rounds >= 4 * max_instructions) {
+    // A parked hart burned its round on one idle cycle; jump straight to the next
+    // wake candidate instead of taking one such round per cycle. Nothing here
+    // observes the skipped rounds, so the full jump is exact (see FastForwardIdle).
+    if (batch.last.waiting && rounds < round_cap) {
+      rounds += FastForwardIdle(round_cap - rounds);
+    }
+    if (retired >= max_instructions || rounds >= round_cap) {
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
                    static_cast<unsigned long long>(max_instructions),
                    hart.waiting() ? "all harts idle" : "harts still running");
@@ -156,21 +245,35 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
 }
 
 bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions) {
-  const uint64_t start = total_instret();
+  const uint64_t round_cap = 4 * max_instructions;
+  uint64_t retired = 0;
   uint64_t rounds = 0;
   // Check the finisher and predicate every round; rounds are cheap (hart_count ticks).
   while (!finisher_->finished()) {
     if (predicate()) {
       return true;
     }
-    StepAll();
+    retired += StepAll();
     ++rounds;
-    // The round bound also terminates a machine where every hart is parked in WFI.
-    if (total_instret() - start >= max_instructions || rounds >= 4 * max_instructions) {
-      bool all_waiting = true;
-      for (const auto& hart : harts_) {
-        all_waiting = all_waiting && hart->waiting();
+    bool all_waiting = true;
+    for (const auto& hart : harts_) {
+      all_waiting = all_waiting && hart->waiting();
+    }
+    if (all_waiting && rounds < round_cap) {
+      // Idle fast-forward, capped at the next mtime tick: the predicate then still
+      // observes every timebase value it would have seen round by round (several
+      // callers watch mtime), it just skips the idle cycles in between.
+      const uint64_t next_tick_cycles =
+          (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
+      const uint64_t now = harts_[0]->cycles();
+      uint64_t cap = round_cap - rounds;
+      if (next_tick_cycles > now && next_tick_cycles - now < cap) {
+        cap = next_tick_cycles - now;
       }
+      rounds += FastForwardIdle(cap);
+    }
+    // The round bound also terminates a machine where every hart is parked in WFI.
+    if (retired >= max_instructions || rounds >= round_cap) {
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
                    static_cast<unsigned long long>(max_instructions),
                    all_waiting ? "all harts idle" : "harts still running");

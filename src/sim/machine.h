@@ -98,7 +98,10 @@ class Machine {
   bool LoadImage(uint64_t addr, const std::vector<uint8_t>& image);
 
   // Runs one round: each hart ticks once, device lines are refreshed, mtime advances.
-  void StepAll();
+  // Returns the number of instructions retired this round (executed ticks that did
+  // not trap), so run loops can track budgets incrementally instead of re-summing
+  // every hart's minstret each round.
+  uint64_t StepAll();
 
   // Runs until the finisher fires or `max_instructions` retire (across all harts).
   // Returns true if the machine finished (as opposed to hitting the budget).
@@ -127,6 +130,15 @@ class Machine {
  private:
   void RefreshInterruptLines();
 
+  // WFI fast-forward: when every hart is parked with nothing pending, jumps all
+  // clocks straight to the earliest future wake candidate (a timer comparator or the
+  // block device deadline) instead of burning one round per idle cycle. Each skipped
+  // round charges exactly the one cycle per hart a parked StepAll round would, so the
+  // wake lands on the identical cycle count. Skips at most `max_rounds` rounds (the
+  // caller's remaining round budget, or a tighter cap); returns the rounds skipped,
+  // 0 when any hart is runnable or an enabled interrupt is already pending.
+  uint64_t FastForwardIdle(uint64_t max_rounds);
+
   MachineConfig config_;
   Bus bus_;
   std::unique_ptr<Clint> clint_;
@@ -137,7 +149,6 @@ class Machine {
   std::vector<std::unique_ptr<Hart>> harts_;
   MmodeOwner* owner_ = nullptr;
   TrapObserver trap_observer_;
-  uint64_t cycle_accumulator_ = 0;  // cycles since the last mtime tick
 };
 
 }  // namespace vfm

@@ -172,10 +172,12 @@ TEST_P(HartVsRefTest, InterruptSelectionAgreement) {
 
 INSTANTIATE_TEST_SUITE_P(
     TuningMatrix, HartVsRefTest,
-    ::testing::Values(TuningCase{"NocacheNotlb", {0, 4096, 0, false}},
-                      TuningCase{"DcacheNotlb", {16384, 4096, 0, false}},
-                      TuningCase{"NocacheTlb", {0, 4096, 4096, true}},
-                      TuningCase{"TinyDcacheTlb", {64, 4096, 64, true}}),
+    ::testing::Values(TuningCase{"NocacheNotlb", {0, 4096, 0, false, 0}},
+                      TuningCase{"DcacheNotlb", {16384, 4096, 0, false, 0}},
+                      TuningCase{"NocacheTlb", {0, 4096, 4096, true, 0}},
+                      TuningCase{"TinyDcacheTlb", {64, 4096, 64, true, 0}},
+                      TuningCase{"Superblock", {16384, 4096, 4096, true, 2048}},
+                      TuningCase{"TinySuperblock", {64, 4096, 64, true, 4}}),
     [](const ::testing::TestParamInfo<TuningCase>& tc) { return tc.param.name; });
 
 // ---- Full-system invariant: world switches never perturb OS state. ---------------

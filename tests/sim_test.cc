@@ -547,5 +547,237 @@ TEST_F(TlbTest, DisabledTlbCountsNothing) {
   EXPECT_EQ(hart.tlb_misses(), 0u);
 }
 
+TEST_F(TlbTest, SuperblockHostFastPathCycleParity) {
+  // Paged S-mode loads/stores inside superblocks take the host-pointer fast path;
+  // the same program must charge identical cycles and count identical decode-cache
+  // and TLB hits with the block engine on and off.
+  const auto run = [](uint32_t sb_entries) {
+    MachineConfig config;
+    config.tuning.superblock_entries = sb_entries;
+    Machine machine(config);
+    Hart& hart = machine.hart(0);
+    SetupPaging(machine);
+    hart.csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+    hart.csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+    hart.csrs().Set(kCsrSatp, (uint64_t{8} << 60) | (kRoot >> 12));
+    hart.set_priv(PrivMode::kSupervisor);
+    Assembler a(kRam + 0x8000);
+    a.Li(t0, 0x3000);
+    a.Li(t1, 0x4000);
+    a.Li(s2, 0);
+    a.Li(s3, 200);
+    a.Bind("loop");
+    a.Ld(t2, t0, 0);
+    a.Sd(s2, t1, 0);
+    a.Lw(a4, t1, 0);
+    a.Addi(s2, s2, 1);
+    a.Blt(s2, s3, "loop");
+    a.Wfi();
+    Image image = std::move(a.Finish()).value();
+    machine.LoadImage(image.base, image.bytes);
+    hart.set_pc(image.entry);
+    machine.RunUntilFinished(20000);  // parks in WFI; ends by budget
+    return std::make_tuple(hart.cycles(), hart.instret(), hart.pc(), hart.gpr(s2),
+                           hart.decode_cache_hits(), hart.decode_cache_misses(),
+                           hart.tlb_hits(), hart.tlb_misses(),
+                           hart.host_fastpath_hits() > 0);
+  };
+  const auto with_blocks = run(2048);
+  const auto without_blocks = run(0);
+  EXPECT_TRUE(std::get<8>(with_blocks));    // the fast path actually engaged
+  EXPECT_FALSE(std::get<8>(without_blocks));
+  EXPECT_EQ(std::get<0>(with_blocks), std::get<0>(without_blocks));
+  EXPECT_EQ(std::get<1>(with_blocks), std::get<1>(without_blocks));
+  EXPECT_EQ(std::get<2>(with_blocks), std::get<2>(without_blocks));
+  EXPECT_EQ(std::get<3>(with_blocks), std::get<3>(without_blocks));
+  EXPECT_EQ(std::get<4>(with_blocks), std::get<4>(without_blocks));
+  EXPECT_EQ(std::get<5>(with_blocks), std::get<5>(without_blocks));
+  EXPECT_EQ(std::get<6>(with_blocks), std::get<6>(without_blocks));
+  EXPECT_EQ(std::get<7>(with_blocks), std::get<7>(without_blocks));
+}
+
+// -- Superblock execution engine (DESIGN.md §2f). -----------------------------------
+
+class SuperblockTest : public ::testing::Test {
+ protected:
+  SuperblockTest() {
+    MachineConfig config;
+    config.hart_count = 1;
+    config.tuning.superblock_entries = 2048;
+    machine_ = std::make_unique<Machine>(config);
+    hart_ = &machine_->hart(0);
+  }
+
+  // Three simple instructions followed by a WFI barrier: a three-instruction block.
+  void LoadStraightLine() {
+    machine_->bus().Write(kRam, 4, 0x00100293);       // addi t0, zero, 1
+    machine_->bus().Write(kRam + 4, 4, 0x00200313);   // addi t1, zero, 2
+    machine_->bus().Write(kRam + 8, 4, 0x00300393);   // addi t2, zero, 3
+    machine_->bus().Write(kRam + 12, 4, 0x10500073);  // wfi
+  }
+
+  // One pass over the straight line via the batched entry point.
+  void RunPass() {
+    hart_->set_pc(kRam);
+    hart_->RunBatch(3, ~uint64_t{0});
+  }
+
+  // Pass 1 decodes per-instruction, pass 2 builds the block, pass 3 hits it.
+  void WarmBlock() {
+    LoadStraightLine();
+    RunPass();
+    RunPass();
+    RunPass();
+    ASSERT_EQ(hart_->superblock_hits(), 1u);
+    ASSERT_EQ(hart_->superblock_instrs(), 6u);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Hart* hart_;
+};
+
+TEST_F(SuperblockTest, FenceIInvalidatesSuperblock) {
+  WarmBlock();
+  // The fence.i word goes to a page nothing has executed from, so the write itself
+  // does not bump the code generation — only the fence.i execution does.
+  machine_->bus().Write(kRam + 0x1000, 4, 0x0000100F);
+  hart_->set_pc(kRam + 0x1000);
+  hart_->Tick();
+  RunPass();  // stale block: must not be dispatched, decode cache refills
+  EXPECT_EQ(hart_->superblock_hits(), 1u);
+  RunPass();  // rebuild
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 2u);
+}
+
+TEST_F(SuperblockTest, StoreToExecPageInvalidatesBlock) {
+  WarmBlock();
+  EXPECT_EQ(hart_->gpr(t2), 3u);
+  // Overwrite the third instruction of the cached block in guest RAM.
+  machine_->bus().Write(kRam + 8, 4, 0x00700393);  // addi t2, zero, 7
+  hart_->set_gpr(t2, 0);
+  RunPass();  // stale block must not be dispatched
+  EXPECT_EQ(hart_->superblock_hits(), 1u);
+  EXPECT_EQ(hart_->gpr(t2), 7u);
+  RunPass();  // rebuilt with the new instruction
+  hart_->set_gpr(t2, 0);
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 2u);
+  EXPECT_EQ(hart_->gpr(t2), 7u);
+}
+
+TEST_F(SuperblockTest, PmpRewriteInvalidatesBlock) {
+  WarmBlock();
+  // The PMP generation is folded into the block stamp exactly as into the decode
+  // cache's: any reconfiguration forces a revalidating rebuild.
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 1u);
+  RunPass();
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 2u);
+}
+
+TEST_F(SuperblockTest, SatpChangeIsPartOfBlockKey) {
+  WarmBlock();
+  // A satp write is a barrier op, so a switch can never happen inside a block; the
+  // hazard is dispatching a block built under another address space. Blocks are
+  // keyed on the effective satp (even in M-mode, where it does not affect fetch),
+  // so the switched hart must rebuild rather than reuse.
+  hart_->csrs().Set(kCsrSatp, (uint64_t{8} << 60) | ((kRam + 0x1000) >> 12));
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 1u);
+  RunPass();
+  RunPass();
+  EXPECT_EQ(hart_->superblock_hits(), 2u);
+}
+
+TEST(SuperblockMachineTest, SelfModifyingLoopMatchesPerInstruction) {
+  // A loop that patches its own body between passes: with the block engine on, the
+  // store lands while a cached superblock over the loop is live. The patched
+  // instruction must take effect exactly as in per-instruction execution, with
+  // identical retired-instruction, cycle, and decode-cache-hit counts.
+  const auto run = [](uint32_t sb_entries) {
+    MachineConfig config;
+    config.tuning.superblock_entries = sb_entries;
+    Machine machine(config);
+    Hart& hart = machine.hart(0);
+    Assembler a(kRam);
+    a.Li(s2, 0);
+    a.Li(s3, 10);
+    a.La(a3, "patch");
+    a.Li(a4, 0x00790913);  // addi s2, s2, 7 — the replacement word
+    a.Li(s5, 0);
+    a.Bind("outer");
+    a.Li(s4, 0);
+    a.Bind("loop");
+    a.Bind("patch");
+    a.Addi(s2, s2, 1);
+    a.Addi(s4, s4, 1);
+    a.Blt(s4, s3, "loop");
+    a.Sw(a4, a3, 0);  // patch the loop body between passes
+    a.Addi(s5, s5, 1);
+    a.Li(t0, 2);
+    a.Blt(s5, t0, "outer");
+    a.Li(t1, 0x10'0000);  // finisher
+    a.Li(t2, 0x5555);     // pass
+    a.Sw(t2, t1, 0);
+    Image image = std::move(a.Finish()).value();
+    machine.LoadImage(image.base, image.bytes);
+    hart.set_pc(image.entry);
+    const bool finished = machine.RunUntilFinished(100000);
+    return std::make_tuple(finished, hart.gpr(s2), hart.cycles(), hart.instret(),
+                           hart.pc(), hart.decode_cache_hits(),
+                           hart.decode_cache_misses());
+  };
+  const auto with_blocks = run(2048);
+  const auto without_blocks = run(0);
+  EXPECT_TRUE(std::get<0>(with_blocks));
+  EXPECT_EQ(std::get<1>(with_blocks), 80u);  // 10 * 1 + 10 * 7
+  EXPECT_EQ(with_blocks, without_blocks);
+}
+
+// -- WFI idle fast-forward (Machine::FastForwardIdle). ------------------------------
+
+TEST(IdleFastForwardTest, WakesOnExactCycleOfPerInstructionLoop) {
+  // A hart that parks in WFI until an mtimecmp deadline must wake on exactly the
+  // same cycle whether the machine single-steps every idle round or fast-forwards.
+  const auto run = [](bool batched) {
+    MachineConfig config;
+    Machine machine(config);
+    Hart& hart = machine.hart(0);
+    Assembler a(kRam);
+    a.Li(t0, 0x200'0000 + Clint::kMtimecmpBase);
+    a.Li(t1, 40);  // wake at mtime tick 40
+    a.Sd(t1, t0, 0);
+    a.Li(t2, uint64_t{1} << 7);  // mie.MTIE; mstatus.MIE stays 0, so no trap is taken
+    a.Csrw(kCsrMie, t2);
+    a.Wfi();
+    a.Li(t1, 0x10'0000);  // finisher
+    a.Li(t2, 0x5555);     // pass
+    a.Sw(t2, t1, 0);
+    Image image = std::move(a.Finish()).value();
+    machine.LoadImage(image.base, image.bytes);
+    hart.set_pc(image.entry);
+    bool finished = false;
+    if (batched) {
+      finished = machine.RunUntilFinished(100000);
+    } else {
+      for (uint64_t round = 0; round < 100000 && !machine.finisher().finished();
+           ++round) {
+        machine.StepAll();
+      }
+      finished = machine.finisher().finished();
+    }
+    return std::make_tuple(finished, hart.cycles(), hart.instret(),
+                           machine.clint().mtime());
+  };
+  const auto fast_forwarded = run(true);
+  const auto stepped = run(false);
+  EXPECT_TRUE(std::get<0>(fast_forwarded));
+  EXPECT_EQ(fast_forwarded, stepped);
+}
+
 }  // namespace
 }  // namespace vfm
