@@ -117,7 +117,11 @@ void WriteSimSpeedJson() {
   const uint64_t start_sb_instrs = hart.superblock_instrs();
   const uint64_t start_fp_hits = hart.host_fastpath_hits();
   const uint64_t start_fp_misses = hart.host_fastpath_misses();
-  constexpr uint64_t kMeasured = 20'000'000;
+  const uint64_t start_th_blocks = hart.threaded_blocks();
+  const uint64_t start_th_instrs = hart.threaded_instrs();
+  const uint64_t start_th_promotions = hart.threaded_promotions();
+  const uint64_t start_th_deopts = hart.threaded_deopts();
+  constexpr uint64_t kMeasured = 200'000'000;
   const auto t0 = std::chrono::steady_clock::now();
   system.machine->RunUntilFinished(kMeasured);
   const auto t1 = std::chrono::steady_clock::now();
@@ -135,6 +139,8 @@ void WriteSimSpeedJson() {
   const uint64_t sb_instrs = hart.superblock_instrs() - start_sb_instrs;
   const uint64_t fp_hits = hart.host_fastpath_hits() - start_fp_hits;
   const uint64_t fp_ops = fp_hits + (hart.host_fastpath_misses() - start_fp_misses);
+  const uint64_t th_blocks = hart.threaded_blocks() - start_th_blocks;
+  const uint64_t th_instrs = hart.threaded_instrs() - start_th_instrs;
 
   JsonResultWriter json("sim_speed");
   json.Add("instructions_retired", static_cast<double>(instructions));
@@ -153,6 +159,14 @@ void WriteSimSpeedJson() {
                          : 0.0);
   json.Add("host_fastpath_hit_rate",
            fp_ops > 0 ? static_cast<double>(fp_hits) / static_cast<double>(fp_ops) : 0.0);
+  json.Add("threaded_hit_rate",
+           instructions > 0 ? static_cast<double>(th_instrs) / static_cast<double>(instructions)
+                            : 0.0);
+  json.Add("promotions", static_cast<double>(hart.threaded_promotions() - start_th_promotions));
+  json.Add("deopts", static_cast<double>(hart.threaded_deopts() - start_th_deopts));
+  json.Add("mean_lowered_block_length",
+           th_blocks > 0 ? static_cast<double>(th_instrs) / static_cast<double>(th_blocks)
+                         : 0.0);
   const char* path = "BENCH_sim_speed.json";
   if (json.WriteTo(path)) {
     std::printf("wrote %s (%.1f MIPS)\n", path,

@@ -27,8 +27,13 @@ const std::vector<LockstepConfig>& LockstepConfigs() {
       {"dcache-notlb", 16384, 0, false, 0},   // decode cache alone
       {"nocache-tlb", 0, 4096, true, 0},      // TLB alone
       {"tiny-dcache-tlb", 64, 64, true, 0},   // both, tiny: exercises aliasing eviction
-      {"superblock", 16384, 4096, true, 2048},  // full stack incl. block engine
+      {"superblock", 16384, 4096, true, 2048},  // block engine, threaded tier off
       {"tiny-superblock", 64, 64, true, 4},   // tiny everything: block aliasing + eviction
+      // Threaded-code tier (DESIGN.md §2g) on top of the full stack: the default
+      // promotion threshold, and an eager threshold-1 + tiny-cache point so every
+      // block runs lowered and invalidation/eviction hit promoted blocks often.
+      {"threaded", 16384, 4096, true, 2048, true, 8},
+      {"threaded-eager", 64, 64, true, 4, true, 1},
   };
   return kConfigs;
 }
@@ -268,6 +273,8 @@ RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
   mc.tuning.tlb_entries = config.tlb_entries;
   mc.tuning.tlb_enabled = config.tlb_enabled;
   mc.tuning.superblock_entries = config.superblock_entries;
+  mc.tuning.threaded_enabled = config.threaded;
+  mc.tuning.threaded_promote_threshold = config.threaded_threshold;
   mc.map.ram_size = CosimLayout::kRamSize;
   Machine machine(mc);
   machine.LoadImage(image.value().base, image.value().bytes);
@@ -294,6 +301,8 @@ RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
   }
   for (unsigned i = 0; i < machine.hart_count(); ++i) {
     out.harts.push_back(SnapshotHart(machine.hart(i)));
+    out.threaded_promotions += machine.hart(i).threaded_promotions();
+    out.threaded_deopts += machine.hart(i).threaded_deopts();
   }
   return out;
 }

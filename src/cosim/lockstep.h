@@ -34,6 +34,8 @@ struct LockstepConfig {
   uint32_t tlb_entries;
   bool tlb_enabled;
   uint32_t superblock_entries = 0;
+  bool threaded = false;             // threaded-code tier over superblocks
+  uint32_t threaded_threshold = 8;   // promotion threshold (1 = promote immediately)
 };
 
 // The decode-cache x TLB x superblock configurations every program runs under. Index
@@ -84,6 +86,10 @@ struct RunOutcome {
   // Reference-model lockstep (baseline configuration, single-hart programs only).
   uint64_t ref_checks = 0;       // privileged steps checked against RefStep
   std::string ref_divergence;    // first hart-vs-refmodel mismatch, empty if none
+  // Threaded-tier engagement (observability only — tuning-dependent by design, so
+  // deliberately NOT part of CompareOutcomes). Summed over all harts.
+  uint64_t threaded_promotions = 0;
+  uint64_t threaded_deopts = 0;
 };
 
 constexpr unsigned kMaxTrapTrace = 2048;

@@ -326,6 +326,10 @@ Action MakeAction(Rng& rng, PrivMode& mode, bool& paged, unsigned& wfi_left,
     case ActionKind::kSelfModify:
       // Patched instruction: addi rd, ra, imm — harmless, visibly changes rd.
       act.b = static_cast<int32_t>(rng.Next() & 0x7FF);
+      // Sub 1 is the hot-patch variant (the store executes inside a warm, possibly
+      // promoted block). Derived from the already-drawn register picks rather than
+      // a fresh rng call, so the action stream of existing seed files is unchanged.
+      act.sub = static_cast<uint8_t>((act.rd ^ act.ra) & 1);
       break;
 
     case ActionKind::kTimer: {
@@ -585,6 +589,37 @@ void EmitAction(Assembler& a, const Action& act, unsigned idx, unsigned depth) {
       }
       break;
     case ActionKind::kSelfModify: {
+      if (act.sub == 1) {
+        // Hot patch: the patching store sits inside a loop whose block warms up
+        // (and, with the threaded tier on, gets promoted). The store target is a
+        // data scratch word until the iteration before last redirects it at the
+        // site, so the invalidating store executes from within the hot block and
+        // the final iteration fetches the patched word. Deliberately no fence.i:
+        // this exercises the store-to-exec-page invalidation path, mid-dispatch.
+        // Fixed registers (t0-t2, s2, plus the s11 loop convention) guarantee the
+        // shape regardless of the drawn act registers.
+        const std::string head = Lbl(idx, "hothead");
+        const std::string site = Lbl(idx, "hotsite");
+        const std::string skip = Lbl(idx, "hotskip");
+        const uint64_t scratch =
+            CosimLayout::kDataPhys +
+            ((static_cast<uint64_t>(act.b) * 2654435761u) & 0xFF8);
+        a.Li(t0, scratch);
+        a.Li(t1, EncodeAddi(s2, s2, static_cast<int32_t>(act.b)));
+        a.Li(s2, 0);
+        a.Li(s11, 12);
+        a.Bind(head);
+        a.Bind(site);
+        a.Addi(s2, s2, 1);  // patched to addi s2, s2, act.b mid-loop
+        a.Sw(t1, t0, 0);
+        a.Addi(s11, s11, -1);
+        a.Li(t2, 2);
+        a.Bne(s11, t2, skip);
+        a.La(t0, site);  // executed once: the next store lands on the site
+        a.Bind(skip);
+        a.Bnez(s11, head);
+        break;
+      }
       const Reg rA = static_cast<Reg>(act.ra);
       const Reg rB = static_cast<Reg>(act.rb);
       const std::string site = Lbl(idx, "patch");

@@ -29,11 +29,12 @@ bool Clint::MmioRead(uint64_t offset, unsigned size, uint64_t* value) {
     return false;
   }
   if (offset == kMtimeOffset && size == 8) {
-    *value = mtime_;
+    *value = SyncedTime();
     return true;
   }
   if (size == 4 && (offset == kMtimeOffset || offset == kMtimeOffset + 4)) {
-    *value = (offset == kMtimeOffset) ? (mtime_ & 0xFFFFFFFF) : (mtime_ >> 32);
+    const uint64_t now = SyncedTime();
+    *value = (offset == kMtimeOffset) ? (now & 0xFFFFFFFF) : (now >> 32);
     return true;
   }
   return false;

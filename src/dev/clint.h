@@ -9,6 +9,8 @@
 #define SRC_DEV_CLINT_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/mem/bus.h"
@@ -33,6 +35,23 @@ class Clint : public MmioDevice {
   void set_mtime(uint64_t value) { mtime_ = value; }
   void AdvanceTime(uint64_t ticks) { mtime_ += ticks; }
 
+  // Optional live timebase, installed by single-hart machines: returns the ticks due
+  // from hart 0's cycle counter. The batched run loop pushes mtime only at batch
+  // boundaries, so guest-visible reads (mtime MMIO here, the time CSR via the hart's
+  // time source) go through SyncedTime(), which pulls mtime forward to the exact
+  // per-instruction value first. The push is monotonic: software that wrote mtime
+  // ahead of the clock keeps its value, matching the run loop's own push.
+  void set_tick_source(std::function<uint64_t()> source) { tick_source_ = std::move(source); }
+  uint64_t SyncedTime() {
+    if (tick_source_) {
+      const uint64_t due = tick_source_();
+      if (due > mtime_) {
+        mtime_ = due;
+      }
+    }
+    return mtime_;
+  }
+
   uint64_t mtimecmp(unsigned hart) const { return mtimecmp_[hart]; }
   void set_mtimecmp(unsigned hart, uint64_t value) { mtimecmp_[hart] = value; }
 
@@ -49,6 +68,7 @@ class Clint : public MmioDevice {
   uint64_t mtime_ = 0;
   std::vector<uint64_t> mtimecmp_;
   std::vector<bool> msip_;
+  std::function<uint64_t()> tick_source_;
 };
 
 }  // namespace vfm

@@ -74,6 +74,47 @@ enum class SbClass : uint8_t {
 };
 SbClass SuperblockClass(Op op);
 
+// Lowered-op vocabulary of the hart's threaded-code tier (DESIGN.md §2g). A promoted
+// superblock is translated into a run of these: operands and sign-extended immediates
+// are baked in at lowering time, `li`/`auipc`+ALU-immediate chains fold into a single
+// kConstChain, compare+branch-on-zero pairs fuse (kSlt*B*z), link-less jumps get
+// dedicated forms (kJ/kJr), and loads/stores carry the host-pointer fast path inline.
+// kEnd terminates blocks that do not end in a branch (and doubles as "not lowerable"
+// from LoweredOpFor — barriers never appear inside a block). The X-macro keeps the
+// enum, the computed-goto label table, and the switch fallback in lockstep.
+#define VFM_LOWERED_OPS(X)                                                      \
+  X(End) X(Nop) X(Const) X(ConstChain)                                          \
+  X(Addi) X(Slti) X(Sltiu) X(Xori) X(Ori) X(Andi) X(Slli) X(Srli) X(Srai)      \
+  X(Addiw) X(Slliw) X(Srliw) X(Sraiw)                                           \
+  X(Add) X(Sub) X(Sll) X(Slt) X(Sltu) X(Xor) X(Srl) X(Sra) X(Or) X(And)        \
+  X(Addw) X(Subw) X(Sllw) X(Srlw) X(Sraw)                                       \
+  X(Mul) X(Mulh) X(Mulhsu) X(Mulhu) X(Div) X(Divu) X(Rem) X(Remu)              \
+  X(Mulw) X(Divw) X(Divuw) X(Remw) X(Remuw)                                     \
+  X(Beq) X(Bne) X(Blt) X(Bge) X(Bltu) X(Bgeu)                                   \
+  X(J) X(Jal) X(Jr) X(Jalr)                                                     \
+  X(SltBeqz) X(SltBnez) X(SltuBeqz) X(SltuBnez)                                 \
+  X(SltiBeqz) X(SltiBnez) X(SltiuBeqz) X(SltiuBnez)                             \
+  X(Lb) X(Lh) X(Lw) X(Ld) X(Lbu) X(Lhu) X(Lwu)                                  \
+  X(Sb) X(Sh) X(Sw) X(Sd)
+
+enum class LoweredOp : uint8_t {
+#define VFM_X(name) k##name,
+  VFM_LOWERED_OPS(VFM_X)
+#undef VFM_X
+};
+
+constexpr unsigned kLoweredOpCount = 0
+#define VFM_X(name) +1
+    VFM_LOWERED_OPS(VFM_X)
+#undef VFM_X
+    ;
+
+// The 1:1 part of the lowering table: the LoweredOp an Op maps to before fusion and
+// folding refine it (lui/auipc become kConst, kJal/kJalr degrade to kJ/kJr when
+// rd == x0, compare+branch pairs fuse). Returns kEnd for ops that cannot appear
+// inside a superblock (SbClass::kBarrier and kInvalid).
+LoweredOp LoweredOpFor(Op op);
+
 }  // namespace vfm
 
 #endif  // SRC_ISA_INSTR_H_

@@ -46,6 +46,16 @@ struct SimTuning {
   // rounded up to a power of two; 0 disables. Superblocks are built from decode-cache
   // entries, so they are also implicitly disabled when decode_cache_entries == 0.
   uint32_t superblock_entries = 2048;
+  // Threaded-code tier over superblocks (DESIGN.md §2g): a superblock whose hit count
+  // reaches the promotion threshold is lowered into a pre-resolved run dispatched by
+  // direct handler pointers (computed goto where the compiler supports it). Like the
+  // tiers below it, lowering bakes in the exact cycle charges of the interpreter
+  // path, so the tier is behavior- and cycle-invisible. Implicitly disabled when
+  // superblocks are (the tier lowers from, and validates against, superblock state).
+  bool threaded_enabled = true;
+  // Valid dispatches of a block before it is promoted; the threshold'th dispatch runs
+  // threaded (so 1 promotes every block on its first execution). Clamped to >= 1.
+  uint32_t threaded_promote_threshold = 8;
 };
 
 // Cycle-cost model. The simulator is not micro-architecturally accurate; these

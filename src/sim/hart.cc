@@ -64,6 +64,15 @@ Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* 
     }
     sblocks_.resize(sb_entries);
     sb_mask_ = sb_entries - 1;
+    // The threaded tier lowers from superblocks, so it only exists when they do.
+    // instr_base >= 1 is required by the executor's single clamped budget compare
+    // (every retired instruction charges at least one cycle); all cost models
+    // satisfy it, but a hypothetical free-instruction model falls back cleanly.
+    if (tuning.threaded_enabled && cost->instr_base >= 1) {
+      tcode_.resize(sb_entries);
+      threaded_threshold_ =
+          tuning.threaded_promote_threshold == 0 ? 1 : tuning.threaded_promote_threshold;
+    }
   }
 }
 
@@ -626,7 +635,31 @@ Hart::BatchResult Hart::RunBatch(uint64_t max_steps, uint64_t stop_cycles) {
         valid = FillSuperblock(&sb);
       }
       if (valid) {
-        const SbRun run = ExecuteSuperblock(sb, max_steps - batch.executed, stop_cycles);
+        // Tier selection (DESIGN.md §2g): count this valid dispatch toward promotion
+        // (saturating), lower on the dispatch that reaches the threshold, and run
+        // lowered blocks through the threaded executor. Everything below the tier
+        // choice is identical — both executors charge the same cycles and spill the
+        // same state, so the choice is invisible to simulated behaviour.
+        SbRun run;
+        ThreadedBlock* tb = nullptr;
+        if (!tcode_.empty()) {
+          if (sb.hits < threaded_threshold_) {
+            ++sb.hits;
+          }
+          if (sb.hits >= threaded_threshold_) {
+            tb = &tcode_[(pc_ >> 2) & sb_mask_];
+          }
+        }
+        if (tb != nullptr) {
+          if (!sb.lowered) {
+            LowerSuperblock(sb, tb);
+            sb.lowered = true;
+            ++threaded_promotions_;
+          }
+          run = ExecuteThreaded(&sb, tb, max_steps - batch.executed, stop_cycles);
+        } else {
+          run = ExecuteSuperblock(sb, 0, max_steps - batch.executed, stop_cycles);
+        }
         batch.executed += run.dispatched;
         batch.retired += run.dispatched - (run.last.trapped ? 1 : 0);
         batch.last = run.last;
@@ -698,6 +731,10 @@ bool Hart::FillSuperblock(SuperblockEntry* sb) {
   sb->open_end = open_end;
   sb->priv = priv;
   sb->virt = virt_;
+  // Any (re)build demotes: the block re-warms toward the promotion threshold and the
+  // old lowering (whose member list may now differ) is never dispatched again.
+  sb->hits = 0;
+  sb->lowered = false;
   return true;
 }
 
@@ -724,10 +761,12 @@ void Hart::BuildFastMemCtx(FastMemCtx* ctx) const {
   ctx->store_ctx = TlbCtx(priv, sum, mxr, AccessType::kStore);
 }
 
-Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_left,
-                                    uint64_t stop_cycles) {
+Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, unsigned start,
+                                    uint64_t steps_left, uint64_t stop_cycles) {
   SbRun run;
-  ++sb_blocks_;
+  if (start == 0) {
+    ++sb_blocks_;  // a deopt continuation is the same block, not a new dispatch
+  }
   const uint64_t mmio_start = bus_->mmio_ops();
   const uint64_t base_cost = cost_->instr_base;
   FastMemCtx mem_ctx;
@@ -741,7 +780,7 @@ Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_le
   uint64_t retired = 0;
   uint64_t cycles_base = csrs_.mcycle();
   uint64_t last_cycles = 0;
-  unsigned i = 0;
+  unsigned i = start;
 
   while (true) {
     const BlockInstr& bi = sb.instrs[i];
@@ -1119,6 +1158,547 @@ Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_le
   run.last.executed = true;
   run.last.cycles = last_cycles;
   return run;
+}
+
+void Hart::LowerSuperblock(const SuperblockEntry& sb, ThreadedBlock* tb) {
+  const void* const* table = nullptr;
+  ExecuteThreaded(nullptr, nullptr, 0, 0, &table);  // label addresses live there
+  tb->ops.clear();
+  tb->ops.reserve(sb.count + 1u);
+  tb->has_mem = false;
+  const uint64_t base_cost = cost_->instr_base;
+  bool ends_with_branch = false;
+  for (unsigned i = 0; i < sb.count; ++i) {
+    const BlockInstr& bi = sb.instrs[i];
+    const DecodedInstr& d = bi.instr;
+    const uint64_t ipc = sb.tag + uint64_t{4} * i;
+    ThreadedOp op;
+    op.next_pc = ipc + 4;
+    op.imm = d.imm;
+    op.cycles = static_cast<uint32_t>(base_cost + bi.extra_cycles);
+    op.src = static_cast<uint16_t>(i);
+    op.a = d.rd;
+    op.b = d.rs1;
+    op.c = d.rs2;
+    LoweredOp kind = LoweredOpFor(d.op);
+
+    if (bi.cls == SbClass::kSimple) {
+      switch (d.op) {
+        case Op::kAuipc:
+          // The block's virtual pc is static, so auipc is a constant at lowering time.
+          op.imm = static_cast<int64_t>(ipc + static_cast<uint64_t>(d.imm));
+          break;
+        case Op::kMul:
+        case Op::kMulh:
+        case Op::kMulhsu:
+        case Op::kMulhu:
+        case Op::kDiv:
+        case Op::kDivu:
+        case Op::kRem:
+        case Op::kRemu:
+        case Op::kMulw:
+        case Op::kDivw:
+        case Op::kDivuw:
+        case Op::kRemw:
+        case Op::kRemuw:
+          op.cycles += static_cast<uint32_t>(cost_->instr_muldiv);
+          break;
+        default:
+          break;
+      }
+      if (d.rd == 0) {
+        kind = LoweredOp::kNop;  // x0-targeted ALU ops only charge cycles
+      } else if (!tb->ops.empty()) {
+        // Constant folding: a li/auipc (kConst) followed by ALU-immediate ops that
+        // read and write the same register collapses into one kConstChain carrying
+        // the final value. Intermediate values are unobservable inside the chain
+        // (members are consecutive and each reads only the chain register), and a
+        // batch boundary inside a chain deopts to per-member execution, so folding
+        // is architecturally invisible.
+        ThreadedOp& prev = tb->ops.back();
+        const LoweredOp pk = static_cast<LoweredOp>(prev.kind);
+        if ((pk == LoweredOp::kConst || pk == LoweredOp::kConstChain) && prev.a == d.rd &&
+            d.rs1 == d.rd) {
+          uint64_t v = static_cast<uint64_t>(prev.imm);
+          const uint64_t imm = static_cast<uint64_t>(d.imm);
+          bool folded = true;
+          switch (d.op) {
+            case Op::kAddi:
+              v += imm;
+              break;
+            case Op::kXori:
+              v ^= imm;
+              break;
+            case Op::kOri:
+              v |= imm;
+              break;
+            case Op::kAndi:
+              v &= imm;
+              break;
+            case Op::kSlli:
+              v <<= (d.imm & 63);
+              break;
+            case Op::kSrli:
+              v >>= (d.imm & 63);
+              break;
+            case Op::kSrai:
+              v = static_cast<uint64_t>(static_cast<int64_t>(v) >> (d.imm & 63));
+              break;
+            case Op::kSlti:
+              v = static_cast<int64_t>(v) < d.imm ? 1 : 0;
+              break;
+            case Op::kSltiu:
+              v = v < imm ? 1 : 0;
+              break;
+            case Op::kAddiw:
+              v = SignExtend((v + imm) & 0xFFFFFFFF, 32);
+              break;
+            case Op::kSlliw:
+              v = SignExtend((v << (d.imm & 31)) & 0xFFFFFFFF, 32);
+              break;
+            case Op::kSrliw:
+              v = SignExtend((v & 0xFFFFFFFF) >> (d.imm & 31), 32);
+              break;
+            case Op::kSraiw:
+              v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)) >>
+                                        (d.imm & 31));
+              break;
+            default:
+              folded = false;
+              break;
+          }
+          if (folded) {
+            prev.imm = static_cast<int64_t>(v);
+            prev.next_pc = ipc + 4;
+            prev.cycles += op.cycles;
+            prev.count = static_cast<uint8_t>(prev.count + 1);
+            prev.kind = static_cast<uint8_t>(LoweredOp::kConstChain);
+            prev.handler = table != nullptr ? table[prev.kind] : nullptr;
+            prev.uhandler = table != nullptr ? table[kLoweredOpCount + prev.kind] : nullptr;
+            continue;
+          }
+        }
+      }
+    } else if (bi.cls == SbClass::kBranch) {
+      ends_with_branch = true;  // FillSuperblock makes a branch the final member
+      switch (d.op) {
+        case Op::kJal:
+          op.imm = static_cast<int64_t>(ipc + static_cast<uint64_t>(d.imm));
+          kind = d.rd == 0 ? LoweredOp::kJ : LoweredOp::kJal;
+          break;
+        case Op::kJalr:
+          kind = d.rd == 0 ? LoweredOp::kJr : LoweredOp::kJalr;
+          break;
+        default: {
+          op.imm = static_cast<int64_t>(ipc + static_cast<uint64_t>(d.imm));  // taken pc
+          // Compare+branch fusion: slt/sltu/slti/sltiu whose result feeds an
+          // immediately following beqz/bnez fuses into one op (the compare rd is
+          // still written — it stays architecturally visible).
+          if ((d.op == Op::kBeq || d.op == Op::kBne) && d.rs2 == 0 && !tb->ops.empty()) {
+            ThreadedOp& prev = tb->ops.back();
+            const LoweredOp pk = static_cast<LoweredOp>(prev.kind);
+            const bool on_zero = d.op == Op::kBeq;
+            LoweredOp fused = LoweredOp::kEnd;
+            if (prev.count == 1 && prev.a == d.rs1 && prev.a != 0) {
+              switch (pk) {
+                case LoweredOp::kSlt:
+                  fused = on_zero ? LoweredOp::kSltBeqz : LoweredOp::kSltBnez;
+                  break;
+                case LoweredOp::kSltu:
+                  fused = on_zero ? LoweredOp::kSltuBeqz : LoweredOp::kSltuBnez;
+                  break;
+                case LoweredOp::kSlti:
+                  fused = on_zero ? LoweredOp::kSltiBeqz : LoweredOp::kSltiBnez;
+                  break;
+                case LoweredOp::kSltiu:
+                  fused = on_zero ? LoweredOp::kSltiuBeqz : LoweredOp::kSltiuBnez;
+                  break;
+                default:
+                  break;
+              }
+            }
+            if (fused != LoweredOp::kEnd) {
+              prev.imm2 = static_cast<int32_t>(prev.imm);  // compare immediate
+              prev.imm = op.imm;                           // absolute taken target
+              prev.next_pc = ipc + 4;                      // fall-through pc
+              prev.cycles += op.cycles;
+              prev.count = 2;
+              prev.kind = static_cast<uint8_t>(fused);
+              prev.handler = table != nullptr ? table[prev.kind] : nullptr;
+              prev.uhandler = table != nullptr ? table[kLoweredOpCount + prev.kind] : nullptr;
+              continue;
+            }
+          }
+          break;
+        }
+      }
+    } else {  // SbClass::kMem
+      op.cycles += static_cast<uint32_t>(cost_->instr_mem);
+      tb->has_mem = true;
+    }
+    op.kind = static_cast<uint8_t>(kind);
+    op.handler = table != nullptr ? table[op.kind] : nullptr;
+    op.uhandler = table != nullptr ? table[kLoweredOpCount + op.kind] : nullptr;
+    tb->ops.push_back(op);
+  }
+  if (!ends_with_branch) {
+    // Blocks cut by a barrier, a page boundary, or the length cap end without a
+    // branch: a zero-cost sentinel spills and returns after the last real op.
+    ThreadedOp end;
+    end.kind = static_cast<uint8_t>(LoweredOp::kEnd);
+    end.handler = table != nullptr ? table[end.kind] : nullptr;
+    end.uhandler = table != nullptr ? table[kLoweredOpCount + end.kind] : nullptr;
+    end.cycles = 0;
+    end.count = 0;
+    end.src = sb.count;
+    end.next_pc = sb.tag + uint64_t{4} * sb.count;
+    tb->ops.push_back(end);
+  }
+  tb->total_count = 0;
+  tb->total_cycles = 0;
+  for (const ThreadedOp& o : tb->ops) {
+    tb->total_count += o.count;
+    tb->total_cycles += o.cycles;
+  }
+}
+
+// The threaded-code executor (DESIGN.md §2g). Dispatch is a computed goto on GCC and
+// Clang — each lowered op carries its handler's label address — with a switch on
+// LoweredOp::kind as the portable fallback. The budget discipline mirrors
+// ExecuteSuperblock exactly: per-instruction post-checks against steps_left and the
+// cycle limit, so batch boundaries land on the same instruction as per-instruction
+// stepping; fused ops (which retire several instructions atomically) pre-check that
+// they fit entirely and otherwise deopt, handing the block tail to the superblock
+// tier, which executes one instruction at a time to the exact boundary.
+#if defined(__GNUC__) || defined(__clang__)
+#define VFM_THREADED_GOTO 1
+#else
+#define VFM_THREADED_GOTO 0
+#endif
+
+Hart::SbRun Hart::ExecuteThreaded(const SuperblockEntry* sb, const ThreadedBlock* tb,
+                                  uint64_t steps_left, uint64_t stop_cycles,
+                                  const void* const** table_out) {
+#if VFM_THREADED_GOTO
+  if (table_out != nullptr) {
+    // Checked handlers first, then the unchecked set (same X-macro order), so
+    // LowerSuperblock indexes checked at [kind] and unchecked at [count + kind].
+    static const void* const kTable[] = {
+#define VFM_X(name) &&t_##name,
+        VFM_LOWERED_OPS(VFM_X)
+#undef VFM_X
+#define VFM_X(name) &&u_##name,
+        VFM_LOWERED_OPS(VFM_X)
+#undef VFM_X
+    };
+    *table_out = kTable;
+    return {};
+  }
+#else
+  if (table_out != nullptr) {
+    *table_out = nullptr;  // the switch fallback dispatches on ThreadedOp::kind
+    return {};
+  }
+#endif
+
+  SbRun run;
+  ++sb_blocks_;
+  ++threaded_blocks_;
+  const uint64_t mmio_start = bus_->mmio_ops();
+  FastMemCtx fm;
+  TlbEntry* const tlb_ld = tlb_[static_cast<unsigned>(AccessType::kLoad)].data();
+  TlbEntry* const tlb_st = tlb_[static_cast<unsigned>(AccessType::kStore)].data();
+  uint64_t* const g = gpr_;
+  const ThreadedOp* op = tb->ops.data();
+  // Same spill discipline as ExecuteSuperblock: pc and the counter deltas live in
+  // locals, spilled only at exits and around slow-path memory ops. `climit` folds
+  // the stop_cycles compare into the local cycle delta.
+  uint64_t pc = pc_;        // written only by branch handlers; fall-through exits
+                            // recover it from the last op's next_pc
+  uint64_t cycles = 0;      // charged since the last spill
+  uint64_t dispatched = 0;  // total this dispatch (incl. slow-path mem ops)
+  uint64_t spill_base = 0;  // dispatched at the last spill: instret delta at exits
+  uint64_t cycles_base = csrs_.mcycle();
+  // The dispatch loop makes a single budget compare per op: cycles >= climit, with
+  // climit clamped by the remaining step budget. This is exact for the cycle bound
+  // and conservative for the step bound — every retired instruction charges at
+  // least instr_base >= 1 cycle (constructor gate), so the cycle compare fires
+  // at-or-before the step compare would, and an early block exit is invisible:
+  // RunBatch re-checks its own bounds and simply re-dispatches. Fused ops
+  // pre-check the step budget exactly (VFM_TFIT), so `dispatched` never
+  // overshoots steps_left.
+  uint64_t climit = stop_cycles > cycles_base ? stop_cycles - cycles_base : 0;
+  climit = climit < steps_left ? climit : steps_left;
+  // tlb_stamp() is stable across fast-path ops (fast stores never touch marked
+  // pages, so no generation it folds can bump); resampled after every slow-path op.
+  uint64_t tstamp = tb->has_mem ? tlb_stamp() : 0;
+
+#if VFM_THREADED_GOTO
+#define VFM_TGO() goto* op->handler
+#else
+#define VFM_TGO() goto dispatch
+#endif
+// Post-execution bookkeeping + budget post-check of a non-terminal op, then dispatch
+// of the next op. The post-check discipline matches ExecuteSuperblock's loop tail,
+// so batch boundaries land on the same instruction.
+#define VFM_TNEXT()          \
+  do {                       \
+    cycles += op->cycles;    \
+    dispatched += op->count; \
+    ++op;                    \
+    if (cycles >= climit) {  \
+      goto exit_fall;        \
+    }                        \
+    VFM_TGO();               \
+  } while (0)
+// Terminal ops (branches, fused compare+branches): pc is already redirected. A taken
+// branch back to the block's own head chains — keeps executing here — when budget
+// remains: fast-path ops cannot invalidate the block or change the interrupt picture
+// (the RunBatch gate's argument applies across iterations unchanged), and slow-path
+// ops re-validate before resuming.
+#define VFM_TFIN()           \
+  do {                       \
+    cycles += op->cycles;    \
+    dispatched += op->count; \
+    if (cycles >= climit) {  \
+      goto exit_spill;       \
+    }                        \
+    if (pc == sb->tag) {     \
+      op = tb->ops.data();   \
+      VFM_TGO();             \
+    }                        \
+    goto exit_spill;         \
+  } while (0)
+// Fused ops retire `n` instructions atomically: they must fit the remaining budget
+// entirely, else the superblock tier executes the tail to the exact boundary.
+#define VFM_TFIT(n)                                                       \
+  do {                                                                    \
+    if (dispatched + (n) > steps_left || cycles + op->cycles >= climit) { \
+      goto deopt_misfit;                                                  \
+    }                                                                     \
+  } while (0)
+// Load/store with host-pointer fast path baked in: one handler does the address
+// add, the TLB probe (full hit condition, as in ExecuteSuperblock), and the host
+// memcpy. Any miss — unaligned, not engaged, cold/foreign/stale slot, non-RAM
+// frame, marked page — takes the shared interpreter slow path below.
+#define VFM_TLOAD(size_, extract_)                                            \
+  do {                                                                        \
+    if (!fm.built) {                                                          \
+      BuildFastMemCtx(&fm);                                                   \
+    }                                                                         \
+    const uint64_t va = g[op->b] + static_cast<uint64_t>(op->imm);            \
+    if (!fm.engaged || !IsAligned(va, size_)) {                               \
+      goto slow_mem;                                                          \
+    }                                                                         \
+    TlbEntry& slot = tlb_ld[(va >> 12) & tlb_mask_];                          \
+    if (slot.vpage != va >> 12 || slot.satp != fm.satp ||                     \
+        slot.ctx != fm.load_ctx || slot.stamp != tstamp ||                    \
+        slot.host_page == nullptr) {                                          \
+      goto slow_mem;                                                          \
+    }                                                                         \
+    ++tlb_hits_;                                                              \
+    ++fastmem_hits_;                                                          \
+    uint64_t value = 0;                                                       \
+    std::memcpy(&value, slot.host_page + (va & MaskLow(12)), size_);          \
+    if (op->a != 0) {                                                         \
+      g[op->a] = extract_;                                                    \
+    }                                                                         \
+    cycles += slot.extra_cycles;                                              \
+    VFM_TNEXT();                                                              \
+  } while (0)
+#define VFM_TSTORE(size_)                                                     \
+  do {                                                                        \
+    if (!fm.built) {                                                          \
+      BuildFastMemCtx(&fm);                                                   \
+    }                                                                         \
+    const uint64_t va = g[op->b] + static_cast<uint64_t>(op->imm);            \
+    if (!fm.engaged || !IsAligned(va, size_)) {                               \
+      goto slow_mem;                                                          \
+    }                                                                         \
+    TlbEntry& slot = tlb_st[(va >> 12) & tlb_mask_];                          \
+    if (slot.vpage != va >> 12 || slot.satp != fm.satp ||                     \
+        slot.ctx != fm.store_ctx || slot.stamp != tstamp ||                   \
+        slot.host_page == nullptr || *slot.page_mark != 0) {                  \
+      goto slow_mem;                                                          \
+    }                                                                         \
+    ++tlb_hits_;                                                              \
+    ++fastmem_hits_;                                                          \
+    const uint64_t offset = va & MaskLow(12);                                 \
+    std::memcpy(slot.host_page + offset, &g[op->c], size_);                   \
+    if (reservation_) {                                                       \
+      const uint64_t paddr = slot.paddr_page | offset;                        \
+      if (AlignDown(*reservation_, 8) == AlignDown(paddr, 8)) {               \
+        reservation_.reset();                                                 \
+      }                                                                       \
+    }                                                                         \
+    cycles += slot.extra_cycles;                                              \
+    VFM_TNEXT();                                                              \
+  } while (0)
+
+#if VFM_THREADED_GOTO
+  // Unchecked fast iteration (computed-goto builds only): when a pure-ALU block's
+  // whole run fits the remaining budget, dispatch through handlers that skip the
+  // per-op accounting entirely — the terminal op adds the block totals and
+  // re-checks before chaining. Blocks with memory ops always run checked: their
+  // TLB-replayed walk cycles vary per dispatch, so the run total is not static.
+  if (!tb->has_mem && tb->total_cycles <= climit) {
+    goto* op->uhandler;
+  }
+#endif
+  VFM_TGO();
+
+#if !VFM_THREADED_GOTO
+dispatch:
+  switch (static_cast<LoweredOp>(op->kind)) {
+#define VFM_X(name)        \
+  case LoweredOp::k##name: \
+    goto t_##name;
+    VFM_LOWERED_OPS(VFM_X)
+#undef VFM_X
+  }
+#endif
+
+// Checked-mode handlers: per-op accounting and budget post-checks.
+#define VFM_TCHECKED 1
+#define VFM_TH(name) t_##name
+#define VFM_TEND() goto exit_fall
+#include "src/sim/hart_threaded.inc"
+#undef VFM_TEND
+#undef VFM_TH
+#undef VFM_TCHECKED
+
+#if VFM_THREADED_GOTO
+// Unchecked-mode handlers: no per-op accounting — the whole iteration was
+// pre-checked to fit, so only the terminal op touches the counters, adding the
+// block totals and deciding whether the next iteration can stay unchecked,
+// must run checked (final partial pass to the exact boundary), or exits.
+#undef VFM_TNEXT
+#undef VFM_TFIN
+#undef VFM_TFIT
+#define VFM_TCHECKED 0
+#define VFM_TH(name) u_##name
+#define VFM_TNEXT()       \
+  do {                    \
+    ++op;                 \
+    goto* op->uhandler;   \
+  } while (0)
+#define VFM_TFIT(n) \
+  do {              \
+  } while (0)
+#define VFM_TFIN()                               \
+  do {                                           \
+    cycles += tb->total_cycles;                  \
+    dispatched += tb->total_count;               \
+    if (cycles >= climit) {                      \
+      goto exit_spill;                           \
+    }                                            \
+    if (pc == sb->tag) {                         \
+      op = tb->ops.data();                       \
+      if (cycles + tb->total_cycles <= climit) { \
+        goto* op->uhandler;                      \
+      }                                          \
+      goto* op->handler;                         \
+    }                                            \
+    goto exit_spill;                             \
+  } while (0)
+#define VFM_TEND()                 \
+  do {                             \
+    cycles += tb->total_cycles;    \
+    dispatched += tb->total_count; \
+    goto exit_fall;                \
+  } while (0)
+#include "src/sim/hart_threaded.inc"
+#undef VFM_TEND
+#undef VFM_TH
+#undef VFM_TCHECKED
+#endif  // VFM_THREADED_GOTO
+
+slow_mem: {
+  // The exact superblock slow path: spill the architectural state, run the op
+  // through the ordinary interpreter helper, re-base the locals, and re-validate
+  // the block before resuming threaded dispatch.
+  ++fastmem_misses_;
+  const BlockInstr& bi = sb->instrs[op->src];
+  pc_ = sb->tag + uint64_t{4} * op->src;  // the member's pc, for trap reporting
+  csrs_.AddInstret(dispatched - spill_base);
+  csrs_.AddCycles(cycles);
+  cycles = 0;
+  StepResult r = ExecuteLoadStore(bi.instr);
+  r.cycles += bi.extra_cycles;  // the member's replayed fetch-walk cost
+  if (!r.trapped) {
+    csrs_.AddInstret(1);
+  }
+  csrs_.AddCycles(r.cycles);
+  ++dispatched;
+  if (r.trapped) {
+    run.end_batch = true;
+    run.last = r;
+    run.dispatched = dispatched;
+    icache_hits_ += dispatched;
+    sb_instrs_ += dispatched;
+    threaded_instrs_ += dispatched;
+    return run;
+  }
+  spill_base = dispatched;  // the slow op's instret was added above
+  cycles_base = csrs_.mcycle();
+  tstamp = tlb_stamp();  // a slow-path store may have bumped a folded generation
+  const bool mmio = bus_->mmio_ops() != mmio_start;
+  const bool stale = cache_stamp() != sb->stamp;
+  if (mmio || stale || dispatched >= steps_left || cycles_base >= stop_cycles) {
+    if (stale) {
+      ++threaded_deopts_;  // the store invalidated code this block may contain
+    }
+    run.end_batch = mmio;
+    run.last = r;
+    run.dispatched = dispatched;
+    icache_hits_ += dispatched;
+    sb_instrs_ += dispatched;
+    threaded_instrs_ += dispatched;
+    return run;
+  }
+  climit = stop_cycles - cycles_base;  // > 0: checked just above
+  const uint64_t steps_rem = steps_left - dispatched;
+  climit = climit < steps_rem ? climit : steps_rem;
+  ++op;
+  VFM_TGO();
+}
+
+deopt_misfit: {
+  // A fused op would overshoot the batch budget: spill at the member boundary and
+  // let the superblock tier run the tail per-instruction to the exact boundary.
+  ++threaded_deopts_;
+  pc_ = sb->tag + uint64_t{4} * op->src;  // first member of the fused op
+  csrs_.AddInstret(dispatched - spill_base);
+  csrs_.AddCycles(cycles);
+  icache_hits_ += dispatched;
+  sb_instrs_ += dispatched;
+  threaded_instrs_ += dispatched;
+  const SbRun tail = ExecuteSuperblock(*sb, op->src, steps_left - dispatched, stop_cycles);
+  run.dispatched = dispatched + tail.dispatched;
+  run.end_batch = tail.end_batch;
+  run.last = tail.last;
+  return run;
+}
+
+exit_fall:
+  pc = op[-1].next_pc;  // non-branch exit: resume after the last executed op
+exit_spill:
+  pc_ = pc;
+  csrs_.AddInstret(dispatched - spill_base);
+  csrs_.AddCycles(cycles);
+  run.dispatched = dispatched;
+  icache_hits_ += dispatched;
+  sb_instrs_ += dispatched;
+  threaded_instrs_ += dispatched;
+  run.last.executed = true;
+  return run;
+
+#undef VFM_TSTORE
+#undef VFM_TLOAD
+#undef VFM_TFIT
+#undef VFM_TFIN
+#undef VFM_TNEXT
+#undef VFM_TGO
 }
 
 StepResult Hart::Execute(const DecodedInstr& d) {

@@ -135,6 +135,17 @@ class Hart {
   uint64_t superblock_blocks() const { return sb_blocks_; }
   uint64_t superblock_instrs() const { return sb_instrs_; }
 
+  // Threaded-code tier counters (DESIGN.md §2g). `threaded_instrs` counts
+  // instructions retired under threaded dispatch (a subset of superblock_instrs:
+  // the decode-cache/superblock parity rule above applies unchanged). A promotion
+  // lowers one superblock into threaded form; a deopt is a mid-block handoff back
+  // to the superblock/interpreter path (budget misfit of a fused op, or a stamp
+  // mismatch after a slow-path store invalidated code this block may contain).
+  uint64_t threaded_blocks() const { return threaded_blocks_; }
+  uint64_t threaded_instrs() const { return threaded_instrs_; }
+  uint64_t threaded_promotions() const { return threaded_promotions_; }
+  uint64_t threaded_deopts() const { return threaded_deopts_; }
+
   // Host-pointer memory fast path counters: hits are loads/stores completed directly
   // against cached host RAM pointers inside a superblock; misses are in-block memory
   // ops that fell back to the full Translate+Bus path.
@@ -237,7 +248,50 @@ class Hart {
     bool open_end = false;
     uint8_t priv = 0;
     bool virt = false;
+    // Threaded-tier promotion state (DESIGN.md §2g): valid dispatches so far
+    // (saturating at the promotion threshold) and whether the matching ThreadedBlock
+    // slot currently holds this block's lowering. Both reset on every (re)build, so
+    // a lowered run can never outlive the superblock it was lowered from.
+    uint32_t hits = 0;
+    bool lowered = false;
     BlockInstr instrs[kMaxSuperblockLen];
+  };
+
+  // One lowered op of a threaded block (DESIGN.md §2g): the handler address
+  // (computed-goto label, with `kind` as the switch-dispatch fallback), operand
+  // register indices, and everything the handler needs pre-resolved — sign-extended
+  // immediate or folded constant or absolute branch target in `imm`, the pc after
+  // the op in `next_pc`, and the summed cycle charge of all fused source
+  // instructions in `cycles` (mem ops add the TLB slot's replayed walk cost at run
+  // time). `src` anchors deopt: the index of the first source BlockInstr, where the
+  // superblock tier resumes when a fused op cannot fit the remaining batch budget.
+  struct ThreadedOp {
+    const void* handler = nullptr;   // checked handler: per-op budget accounting
+    const void* uhandler = nullptr;  // unchecked handler: budget pre-checked per iteration
+    uint64_t next_pc = 0;
+    int64_t imm = 0;
+    uint32_t cycles = 0;
+    int32_t imm2 = 0;  // baked compare immediate of a fused slti/sltiu + branch
+    uint16_t src = 0;
+    uint8_t a = 0;  // rd (or the compare rd of a fused compare+branch)
+    uint8_t b = 0;  // rs1
+    uint8_t c = 0;  // rs2 (store data register)
+    uint8_t count = 1;  // source instructions this op retires
+    uint8_t kind = 0;   // LoweredOp
+  };
+
+  // A promoted superblock's lowered run. Slots parallel the superblock cache
+  // (same index), and a slot's contents are meaningful only while the owning
+  // SuperblockEntry is valid and has `lowered` set.
+  struct ThreadedBlock {
+    std::vector<ThreadedOp> ops;
+    bool has_mem = false;  // skip the tlb_stamp() sample for pure-ALU blocks
+    // Whole-run charges, for the unchecked dispatch mode: a pure-ALU block whose
+    // entire run fits the remaining budget executes with no per-op accounting at
+    // all — the totals are added once at the terminal op. Blocks with memory ops
+    // always run checked (their TLB-replayed walk cycles vary per dispatch).
+    uint32_t total_count = 0;
+    uint64_t total_cycles = 0;
   };
 
   // Data-access translation context captured once per block dispatch. Valid for the
@@ -302,10 +356,22 @@ class Hart {
   // decode-cache entries. Returns false if not even one instruction could be
   // captured (cold or stale decode-cache slot at pc_).
   bool FillSuperblock(SuperblockEntry* sb);
-  // Dispatches through `sb`, retiring up to steps_left instructions or until
-  // stop_cycles, a trap, or a slow-path event ends the block or the batch.
-  SbRun ExecuteSuperblock(const SuperblockEntry& sb, uint64_t steps_left,
+  // Dispatches through `sb` starting at member index `start`, retiring up to
+  // steps_left instructions or until stop_cycles, a trap, or a slow-path event ends
+  // the block or the batch. `start` != 0 is the threaded tier's deopt continuation
+  // (the caller has already spilled pc_/instret/cycles at the member boundary).
+  SbRun ExecuteSuperblock(const SuperblockEntry& sb, unsigned start, uint64_t steps_left,
                           uint64_t stop_cycles);
+  // Lowers a promoted superblock into `tb` (DESIGN.md §2g): 1:1 handler mapping plus
+  // constant folding of li/auipc + ALU-immediate chains, compare+branch fusion, and
+  // cycle-charge pre-summing. Pure translation — no architectural effects.
+  void LowerSuperblock(const SuperblockEntry& sb, ThreadedBlock* tb);
+  // Executes a lowered block by direct handler dispatch. With `table_out` non-null,
+  // performs no execution and only returns the handler table for LowerSuperblock
+  // (the computed-goto labels are local to this function); sb/tb may be null then.
+  SbRun ExecuteThreaded(const SuperblockEntry* sb, const ThreadedBlock* tb,
+                        uint64_t steps_left, uint64_t stop_cycles,
+                        const void* const** table_out = nullptr);
   void BuildFastMemCtx(FastMemCtx* ctx) const;
 
   unsigned index_;
@@ -349,6 +415,15 @@ class Hart {
   uint64_t sb_instrs_ = 0;
   uint64_t fastmem_hits_ = 0;
   uint64_t fastmem_misses_ = 0;
+
+  // Threaded-code tier (DESIGN.md §2g): lowered runs parallel to sblocks_. Empty
+  // when the tier (or the superblock cache) is disabled.
+  std::vector<ThreadedBlock> tcode_;
+  uint32_t threaded_threshold_ = 8;
+  uint64_t threaded_blocks_ = 0;
+  uint64_t threaded_instrs_ = 0;
+  uint64_t threaded_promotions_ = 0;
+  uint64_t threaded_deopts_ = 0;
 };
 
 }  // namespace vfm

@@ -54,8 +54,19 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
   for (unsigned i = 0; i < config_.hart_count; ++i) {
     harts_.push_back(std::make_unique<Hart>(i, &bus_, config_.isa, &config_.cost, config_.tuning));
     Clint* clint = clint_.get();
-    harts_.back()->csrs().set_time_source([clint] { return clint->mtime(); });
+    harts_.back()->csrs().set_time_source([clint] { return clint->SyncedTime(); });
     harts_.back()->set_pc(config_.map.ram_base);
+  }
+  // Single-hart machines batch instructions (RunUntilFinished) and defer the mtime
+  // push to batch boundaries; the CLINT's tick source lets mid-batch mtime reads
+  // (MMIO and the time CSR) observe the exact per-instruction value anyway. Cycles
+  // are always spilled before a load/store or CSR read executes, so the division
+  // here sees precisely the per-instruction mcycle. Multi-hart machines step per
+  // round and push every round, so they keep the plain stored counter.
+  if (config_.hart_count == 1 && config_.cost.mtime_tick_cycles != 0) {
+    Hart* hart0 = harts_[0].get();
+    const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
+    clint_->set_tick_source([hart0, tick_cycles] { return hart0->cycles() / tick_cycles; });
   }
 }
 
@@ -206,9 +217,31 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
     if (blockdev_ && blockdev_->busy()) {
       n = 1;
     }
-    // Stop at the next timebase tick so mtime (and MTIP) can advance between
-    // instructions exactly as in per-instruction stepping.
-    const uint64_t stop_cycles = (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
+    // Batch horizon. A timebase tick is only architecturally observable through
+    // (a) an mtime read — MMIO and time-CSR reads are live-synced from hart 0's
+    // clock (Clint::SyncedTime), so they are exact at any point inside a batch —
+    // and (b) the MTIP edge at mtimecmp(0), where the batch must stop so the
+    // interrupt is sampled on the same instruction boundary as per-instruction
+    // stepping. So the horizon runs to the comparator's cycle, not to the next
+    // tick. Cases that reintroduce per-tick observers keep the one-tick horizon:
+    // Sstc (stimecmp comparators fire on ticks outside the CLINT), a host-side
+    // monitor (it reads the stored mtime between batches), and a busy block
+    // device (its completion deadline is an mtime tick; n == 1 above already
+    // serializes it). When MTIP is already high there is no future edge — the
+    // next flip needs an mtimecmp MMIO write, which ends the batch — so the
+    // horizon is unbounded and the instruction budget alone limits the batch.
+    const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
+    uint64_t stop_cycles = (clint_->mtime() + 1) * tick_cycles;
+    if (owner_ == nullptr && !config_.isa.has_sstc && tick_cycles != 0 &&
+        !(blockdev_ && blockdev_->busy())) {
+      const uint64_t cmp = clint_->mtimecmp(0);
+      if (cmp <= clint_->mtime()) {
+        stop_cycles = ~uint64_t{0};
+      } else {
+        stop_cycles =
+            cmp > ~uint64_t{0} / tick_cycles ? ~uint64_t{0} : cmp * tick_cycles;
+      }
+    }
     const Hart::BatchResult batch = hart.RunBatch(n, stop_cycles);
     rounds += batch.executed;
     retired += batch.retired;

@@ -172,12 +172,14 @@ TEST_P(HartVsRefTest, InterruptSelectionAgreement) {
 
 INSTANTIATE_TEST_SUITE_P(
     TuningMatrix, HartVsRefTest,
-    ::testing::Values(TuningCase{"NocacheNotlb", {0, 4096, 0, false, 0}},
-                      TuningCase{"DcacheNotlb", {16384, 4096, 0, false, 0}},
-                      TuningCase{"NocacheTlb", {0, 4096, 4096, true, 0}},
-                      TuningCase{"TinyDcacheTlb", {64, 4096, 64, true, 0}},
-                      TuningCase{"Superblock", {16384, 4096, 4096, true, 2048}},
-                      TuningCase{"TinySuperblock", {64, 4096, 64, true, 4}}),
+    ::testing::Values(TuningCase{"NocacheNotlb", {0, 4096, 0, false, 0, false, 8}},
+                      TuningCase{"DcacheNotlb", {16384, 4096, 0, false, 0, false, 8}},
+                      TuningCase{"NocacheTlb", {0, 4096, 4096, true, 0, false, 8}},
+                      TuningCase{"TinyDcacheTlb", {64, 4096, 64, true, 0, false, 8}},
+                      TuningCase{"Superblock", {16384, 4096, 4096, true, 2048, false, 8}},
+                      TuningCase{"TinySuperblock", {64, 4096, 64, true, 4, false, 8}},
+                      TuningCase{"Threaded", {16384, 4096, 4096, true, 2048, true, 8}},
+                      TuningCase{"ThreadedEager", {64, 4096, 64, true, 4, true, 1}}),
     [](const ::testing::TestParamInfo<TuningCase>& tc) { return tc.param.name; });
 
 // ---- Full-system invariant: world switches never perturb OS state. ---------------

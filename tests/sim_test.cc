@@ -738,6 +738,184 @@ TEST(SuperblockMachineTest, SelfModifyingLoopMatchesPerInstruction) {
   EXPECT_EQ(with_blocks, without_blocks);
 }
 
+// -- Threaded-code execution tier over superblocks (DESIGN.md §2g). -----------------
+
+class ThreadedTierTest : public ::testing::Test {
+ protected:
+  void Init(uint32_t threshold) {
+    MachineConfig config;
+    config.hart_count = 1;
+    config.tuning.superblock_entries = 2048;
+    config.tuning.threaded_enabled = true;
+    config.tuning.threaded_promote_threshold = threshold;
+    machine_ = std::make_unique<Machine>(config);
+    hart_ = &machine_->hart(0);
+  }
+
+  void LoadStraightLine() {
+    machine_->bus().Write(kRam, 4, 0x00100293);       // addi t0, zero, 1
+    machine_->bus().Write(kRam + 4, 4, 0x00200313);   // addi t1, zero, 2
+    machine_->bus().Write(kRam + 8, 4, 0x00300393);   // addi t2, zero, 3
+    machine_->bus().Write(kRam + 12, 4, 0x10500073);  // wfi
+  }
+
+  void RunPass() {
+    hart_->set_pc(kRam);
+    hart_->RunBatch(3, ~uint64_t{0});
+  }
+
+  // With threshold 1: pass 1 decodes per-instruction, pass 2 builds the superblock
+  // and the same dispatch reaches the threshold, so pass 2 already runs threaded.
+  void WarmPromoted() {
+    Init(1);
+    LoadStraightLine();
+    RunPass();
+    RunPass();
+    ASSERT_EQ(hart_->threaded_promotions(), 1u);
+    ASSERT_EQ(hart_->threaded_blocks(), 1u);
+    ASSERT_EQ(hart_->threaded_instrs(), 3u);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Hart* hart_;
+};
+
+TEST_F(ThreadedTierTest, PromotesOnExactlyTheThresholdDispatch) {
+  Init(3);
+  LoadStraightLine();
+  RunPass();  // per-instruction decode
+  RunPass();  // builds the block: valid dispatch 1
+  RunPass();  // valid dispatch 2 — one short of the threshold
+  EXPECT_EQ(hart_->threaded_promotions(), 0u);
+  EXPECT_EQ(hart_->threaded_blocks(), 0u);
+  RunPass();  // valid dispatch 3: lowers and runs threaded
+  EXPECT_EQ(hart_->threaded_promotions(), 1u);
+  EXPECT_EQ(hart_->threaded_blocks(), 1u);
+  EXPECT_EQ(hart_->threaded_instrs(), 3u);
+  RunPass();  // already lowered: reused, not re-promoted
+  EXPECT_EQ(hart_->threaded_promotions(), 1u);
+  EXPECT_EQ(hart_->threaded_blocks(), 2u);
+  EXPECT_EQ(hart_->threaded_instrs(), 6u);
+  EXPECT_EQ(hart_->gpr(t0), 1u);
+  EXPECT_EQ(hart_->gpr(t1), 2u);
+  EXPECT_EQ(hart_->gpr(t2), 3u);
+}
+
+TEST_F(ThreadedTierTest, FenceIDemotesPromotedBlock) {
+  WarmPromoted();
+  machine_->bus().Write(kRam + 0x1000, 4, 0x0000100F);  // fence.i
+  hart_->set_pc(kRam + 0x1000);
+  hart_->Tick();
+  hart_->set_gpr(t2, 0);
+  RunPass();  // stale lowering must not be dispatched; per-instruction refill
+  EXPECT_EQ(hart_->threaded_blocks(), 1u);
+  EXPECT_EQ(hart_->threaded_promotions(), 1u);
+  EXPECT_EQ(hart_->gpr(t2), 3u);  // identical architectural outcome either way
+  RunPass();  // rebuild re-warms from zero and re-promotes
+  EXPECT_EQ(hart_->threaded_promotions(), 2u);
+  EXPECT_EQ(hart_->threaded_blocks(), 2u);
+}
+
+TEST_F(ThreadedTierTest, StoreToExecPageDemotesPromotedBlock) {
+  WarmPromoted();
+  EXPECT_EQ(hart_->gpr(t2), 3u);
+  // Overwrite the third instruction of the promoted block in guest RAM.
+  machine_->bus().Write(kRam + 8, 4, 0x00700393);  // addi t2, zero, 7
+  hart_->set_gpr(t2, 0);
+  RunPass();  // stale: per-instruction execution already sees the patched word
+  EXPECT_EQ(hart_->threaded_blocks(), 1u);
+  EXPECT_EQ(hart_->gpr(t2), 7u);
+  hart_->set_gpr(t2, 0);
+  RunPass();  // rebuilt from the new bytes and re-promoted
+  EXPECT_EQ(hart_->threaded_promotions(), 2u);
+  EXPECT_EQ(hart_->threaded_blocks(), 2u);
+  EXPECT_EQ(hart_->gpr(t2), 7u);
+}
+
+TEST_F(ThreadedTierTest, PmpRewriteDemotesPromotedBlock) {
+  WarmPromoted();
+  hart_->csrs().pmp().SetCfg(0, PmpCfg::FromByte(0x1F));
+  hart_->csrs().pmp().SetAddr(0, ~uint64_t{0} >> 10);
+  hart_->set_gpr(t2, 0);
+  RunPass();  // stamp mismatch: no stale threaded dispatch
+  EXPECT_EQ(hart_->threaded_blocks(), 1u);
+  EXPECT_EQ(hart_->gpr(t2), 3u);
+  RunPass();
+  EXPECT_EQ(hart_->threaded_promotions(), 2u);
+  EXPECT_EQ(hart_->threaded_blocks(), 2u);
+}
+
+TEST_F(ThreadedTierTest, SatpChangeDemotesPromotedBlock) {
+  WarmPromoted();
+  // Blocks (and their lowerings) are keyed on the effective satp: a switched address
+  // space must rebuild rather than reuse the promoted lowering.
+  hart_->csrs().Set(kCsrSatp, (uint64_t{8} << 60) | ((kRam + 0x1000) >> 12));
+  hart_->set_gpr(t2, 0);
+  RunPass();
+  EXPECT_EQ(hart_->threaded_blocks(), 1u);
+  EXPECT_EQ(hart_->gpr(t2), 3u);
+  RunPass();
+  EXPECT_EQ(hart_->threaded_promotions(), 2u);
+  EXPECT_EQ(hart_->threaded_blocks(), 2u);
+}
+
+TEST(ThreadedMachineTest, SelfModifyingStoreInPromotedBlockDeopts) {
+  // A patching store that walks one page per iteration through data RAM (host-
+  // pointer fast path, no code invalidation) while its block warms up and gets
+  // promoted, then lands on the code page on iteration 11 — so the invalidating
+  // store executes *inside* the promoted threaded block. The mid-block deopt must
+  // replay the rest of the block bit-identically, and the whole run — with the
+  // tier at either threshold, or off — must retire the same instructions in the
+  // same simulated cycles.
+  const auto run = [](bool threaded, uint32_t threshold, uint64_t* deopts) {
+    MachineConfig config;
+    config.tuning.superblock_entries = 2048;
+    config.tuning.threaded_enabled = threaded;
+    config.tuning.threaded_promote_threshold = threshold;
+    Machine machine(config);
+    Hart& hart = machine.hart(0);
+    Assembler a(kRam + 0xC000);
+    a.Li(s2, 0);
+    a.Li(s3, 14);
+    a.Li(s4, 0);
+    a.Li(a4, 0x00790913);  // addi s2, s2, 7 — the replacement word
+    a.La(a3, "patch");
+    a.Li(a6, 11 * 0x1000);
+    a.Sub(a3, a3, a6);  // the store target starts 11 pages below the code page
+    a.Li(a6, 0x1000);
+    a.Bind("loop");
+    a.Bind("patch");
+    a.Addi(s2, s2, 1);  // patched to +7 once the store reaches the code page
+    a.Sw(a4, a3, 0);
+    a.Add(a3, a3, a6);
+    a.Addi(s4, s4, 1);
+    a.Blt(s4, s3, "loop");
+    a.Li(t1, 0x10'0000);  // finisher
+    a.Li(t2, 0x5555);     // pass
+    a.Sw(t2, t1, 0);
+    Image image = std::move(a.Finish()).value();
+    machine.LoadImage(image.base, image.bytes);
+    hart.set_pc(image.entry);
+    const bool finished = machine.RunUntilFinished(100000);
+    *deopts = hart.threaded_deopts();
+    return std::make_tuple(finished, hart.gpr(s2), hart.cycles(), hart.instret(),
+                           hart.pc(), hart.decode_cache_hits(),
+                           hart.decode_cache_misses());
+  };
+  uint64_t eager_deopts = 0;
+  uint64_t default_deopts = 0;
+  uint64_t off_deopts = 0;
+  const auto eager = run(true, 1, &eager_deopts);
+  const auto defaulted = run(true, 8, &default_deopts);
+  const auto off = run(false, 8, &off_deopts);
+  EXPECT_TRUE(std::get<0>(eager));
+  EXPECT_EQ(std::get<1>(eager), 26u);  // 12 * 1 + 2 * 7
+  EXPECT_GE(eager_deopts, 1u);         // the store fired inside a promoted block
+  EXPECT_EQ(off_deopts, 0u);
+  EXPECT_EQ(eager, defaulted);
+  EXPECT_EQ(eager, off);
+}
+
 // -- WFI idle fast-forward (Machine::FastForwardIdle). ------------------------------
 
 TEST(IdleFastForwardTest, WakesOnExactCycleOfPerInstructionLoop) {

@@ -99,6 +99,17 @@ bool ReplayFile(const std::string& path, const Options& opts) {
   replay_opts.shrink = false;  // the file is already minimal; just reproduce
   if (CheckAndReport(program.value(), replay_opts, path.c_str())) {
     std::printf("%s: no divergence (all configurations identical)\n", path.c_str());
+    // Report how hard the threaded tier was exercised, so pinned seeds can be
+    // checked for actually reaching promotion/deopt paths (not just passing).
+    for (const vfm::LockstepConfig& config : vfm::LockstepConfigs()) {
+      if (!config.threaded) {
+        continue;
+      }
+      const vfm::RunOutcome out =
+          vfm::RunProgram(program.value(), config, /*with_refmodel=*/false);
+      std::printf("  %s: %" PRIu64 " promotions, %" PRIu64 " threaded deopts\n",
+                  config.name, out.threaded_promotions, out.threaded_deopts);
+    }
     return true;
   }
   return false;
