@@ -6,6 +6,8 @@
 #include "src/isa/disasm.h"
 #include "src/isa/sbi.h"
 
+#include "src/common/state.h"
+
 namespace vfm {
 
 namespace {
@@ -965,6 +967,46 @@ bool Monitor::EmulateMmioPassthrough(Hart& hart, uint64_t addr) {
   hs.vctx.set_pc(hart.csrs().mepc() + 4);
   ResumeFirmware(hart);
   return true;
+}
+
+
+void Monitor::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("MONS"), 1);
+  writer.U32(static_cast<uint32_t>(harts_.size()));
+  for (const auto& hart : harts_) {
+    writer.Bool(hart->in_firmware);
+    writer.U64(hart->os_timer_deadline);
+    writer.U64(hart->saved_os_mie);
+    writer.U64(hart->mip_snapshot);
+    writer.Bool(hart->ipi_ssip_request);
+    writer.Bool(hart->rfence_request);
+    hart->vctx.SaveState(writer);
+  }
+  vclint_.SaveState(writer);
+  writer.EndSection();
+}
+
+bool Monitor::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("MONS"));
+  const uint32_t harts = reader.U32();
+  if (reader.ok() && harts != harts_.size()) {
+    reader.Fail("MONS: hart count mismatch");
+  }
+  for (auto& hart : harts_) {
+    if (!reader.ok()) {
+      break;
+    }
+    hart->in_firmware = reader.Bool();
+    hart->os_timer_deadline = reader.U64();
+    hart->saved_os_mie = reader.U64();
+    hart->mip_snapshot = reader.U64();
+    hart->ipi_ssip_request = reader.Bool();
+    hart->rfence_request = reader.Bool();
+    hart->vctx.LoadState(reader);
+  }
+  vclint_.LoadState(reader);
+  reader.EndSection();
+  return reader.ok();
 }
 
 }  // namespace vfm

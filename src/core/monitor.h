@@ -129,6 +129,14 @@ class Monitor : public MmodeOwner {
   // §3.3). Decodes the faulting instruction and advances the firmware's pc.
   bool EmulateMmioPassthrough(Hart& hart, uint64_t addr);
 
+  // Uniform state API (DESIGN.md §2h). A monitored machine snapshots in two parts:
+  // Machine::SaveSnapshot captures the physical machine, and this captures the
+  // monitor's own state (per-hart virtual contexts and world flags, the virtual
+  // CLINT). Statistics are observability, not machine state, and are not saved.
+  // Restore order matters: restore the Machine first, then the monitor.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
+
  private:
   struct HartState {
     explicit HartState(const VhartConfig& config) : vctx(config) {}

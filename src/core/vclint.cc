@@ -4,6 +4,8 @@
 
 #include "src/common/bits.h"
 
+#include "src/common/state.h"
+
 namespace vfm {
 
 VirtClint::VirtClint(Clint* phys, unsigned hart_count)
@@ -76,6 +78,31 @@ bool VirtClint::Write(uint64_t offset, unsigned size, uint64_t value) {
     return true;
   }
   return false;
+}
+
+
+void VirtClint::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("VCLN"), 1);
+  writer.U32(hart_count());
+  for (unsigned i = 0; i < hart_count(); ++i) {
+    writer.U64(vmtimecmp_[i]);
+    writer.Bool(vmsip_[i]);
+  }
+  writer.EndSection();
+}
+
+bool VirtClint::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("VCLN"));
+  const uint32_t harts = reader.U32();
+  if (reader.ok() && harts != hart_count()) {
+    reader.Fail("VCLN: hart count mismatch");
+  }
+  for (unsigned i = 0; reader.ok() && i < hart_count(); ++i) {
+    vmtimecmp_[i] = reader.U64();
+    vmsip_[i] = reader.Bool();
+  }
+  reader.EndSection();
+  return reader.ok();
 }
 
 }  // namespace vfm

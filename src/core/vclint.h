@@ -14,6 +14,9 @@
 
 namespace vfm {
 
+class StateReader;
+class StateWriter;
+
 class VirtClint {
  public:
   VirtClint(Clint* phys, unsigned hart_count);
@@ -42,6 +45,11 @@ class VirtClint {
   }
 
   unsigned hart_count() const { return static_cast<unsigned>(vmtimecmp_.size()); }
+
+  // Uniform state API (DESIGN.md §2h): the virtual comparator and msip copies. The
+  // physical CLINT pointer is wiring; mtime lives in the physical device's section.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
 
  private:
   Clint* phys_;

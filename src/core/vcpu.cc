@@ -2,6 +2,8 @@
 
 #include "src/common/bits.h"
 
+#include "src/common/state.h"
+
 namespace vfm {
 
 void VirtContext::TakeVirtualTrap(uint64_t cause, uint64_t tval) {
@@ -255,6 +257,24 @@ EmulationResult VirtContext::EmulatePrivileged(const DecodedInstr& d, uint64_t* 
       // Anything else that trapped is not a valid privileged instruction in vM-mode.
       return IllegalInstr(d);
   }
+}
+
+
+void VirtContext::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("VCTX"), 1);
+  writer.U64(pc_);
+  writer.U8(static_cast<uint8_t>(priv_));
+  csrs_.SaveState(writer);
+  writer.EndSection();
+}
+
+bool VirtContext::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("VCTX"));
+  pc_ = reader.U64();
+  priv_ = static_cast<PrivMode>(reader.U8());
+  csrs_.LoadState(reader);
+  reader.EndSection();
+  return reader.ok();
 }
 
 }  // namespace vfm

@@ -17,6 +17,9 @@
 
 namespace vfm {
 
+class StateReader;
+class StateWriter;
+
 enum class EmulationOutcome {
   kAdvance,        // instruction emulated; virtual pc advances by 4
   kRedirect,       // virtual pc changed (mret/sret staying at or above vM, trap vector)
@@ -62,6 +65,11 @@ class VirtContext {
   // are delivered natively in direct execution through the physical mideleg — they
   // must never be emulated in the firmware world.
   std::optional<uint64_t> PendingVirtualMachineInterrupt() const;
+
+  // Uniform state API (DESIGN.md §2h): virtual pc, virtual privilege, and the
+  // nested shadow CSR file.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
 
  private:
   EmulationResult EmulateCsrOp(const DecodedInstr& instr, uint64_t* gprs);

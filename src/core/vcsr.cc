@@ -2,6 +2,8 @@
 
 #include "src/common/bits.h"
 
+#include "src/common/state.h"
+
 namespace vfm {
 
 namespace {
@@ -479,6 +481,93 @@ bool VCsrFile::Write(uint16_t addr, PrivMode priv, uint64_t value) {
   }
   Set(addr, value);
   return true;
+}
+
+
+void VCsrFile::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("VCSR"), 1);
+  writer.U64(mstatus_);
+  writer.U64(medeleg_);
+  writer.U64(mideleg_);
+  writer.U64(mie_);
+  writer.U64(mip_);
+  writer.U64(mip_lines_);
+  writer.U64(mtvec_);
+  writer.U64(mcounteren_);
+  writer.U64(menvcfg_);
+  writer.U64(mcountinhibit_);
+  writer.U64(mscratch_);
+  writer.U64(mepc_);
+  writer.U64(mcause_);
+  writer.U64(mtval_);
+  writer.U64(mseccfg_);
+  writer.U64(mcycle_);
+  writer.U64(minstret_);
+  writer.U64(stvec_);
+  writer.U64(scounteren_);
+  writer.U64(senvcfg_);
+  writer.U64(sscratch_);
+  writer.U64(sepc_);
+  writer.U64(scause_);
+  writer.U64(stval_);
+  writer.U64(satp_);
+  writer.U64(stimecmp_);
+  writer.Bytes(pmpcfg_, sizeof pmpcfg_);
+  for (uint64_t addr : pmpaddr_) {
+    writer.U64(addr);
+  }
+  for (uint64_t v : custom_) {
+    writer.U64(v);
+  }
+  for (uint64_t v : hshadow_) {
+    writer.U64(v);
+  }
+  writer.EndSection();
+}
+
+bool VCsrFile::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("VCSR"));
+  // Values were legalized when first written, so direct assignment reproduces the
+  // exact shadow state; routing them back through Set() could re-legalize
+  // differently if WARL rules ever tighten.
+  mstatus_ = reader.U64();
+  medeleg_ = reader.U64();
+  mideleg_ = reader.U64();
+  mie_ = reader.U64();
+  mip_ = reader.U64();
+  mip_lines_ = reader.U64();
+  mtvec_ = reader.U64();
+  mcounteren_ = reader.U64();
+  menvcfg_ = reader.U64();
+  mcountinhibit_ = reader.U64();
+  mscratch_ = reader.U64();
+  mepc_ = reader.U64();
+  mcause_ = reader.U64();
+  mtval_ = reader.U64();
+  mseccfg_ = reader.U64();
+  mcycle_ = reader.U64();
+  minstret_ = reader.U64();
+  stvec_ = reader.U64();
+  scounteren_ = reader.U64();
+  senvcfg_ = reader.U64();
+  sscratch_ = reader.U64();
+  sepc_ = reader.U64();
+  scause_ = reader.U64();
+  stval_ = reader.U64();
+  satp_ = reader.U64();
+  stimecmp_ = reader.U64();
+  reader.FixedBytes(pmpcfg_, sizeof pmpcfg_);
+  for (uint64_t& addr : pmpaddr_) {
+    addr = reader.U64();
+  }
+  for (uint64_t& v : custom_) {
+    v = reader.U64();
+  }
+  for (uint64_t& v : hshadow_) {
+    v = reader.U64();
+  }
+  reader.EndSection();
+  return reader.ok();
 }
 
 }  // namespace vfm

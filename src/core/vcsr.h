@@ -16,6 +16,9 @@
 
 namespace vfm {
 
+class StateReader;
+class StateWriter;
+
 // Configuration of the virtual hart the firmware sees. The virtual platform mirrors
 // the physical one, minus the PMP entries the monitor reserves for itself (Figure 5).
 struct VhartConfig {
@@ -66,6 +69,11 @@ class VCsrFile {
   // The effective virtual mip including injected interrupt lines (virtual CLINT).
   uint64_t EffectiveMip() const;
   void SetVirtualInterruptLine(InterruptCause cause, bool level);
+
+  // Uniform state API (DESIGN.md §2h): every shadow CSR in fixed field order. The
+  // time source is wiring — the owning monitor re-installs it.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
 
  private:
   uint64_t LegalizeVStatus(uint64_t old_value, uint64_t new_value) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <optional>
 
 #include "src/isa/csr.h"
@@ -255,6 +257,69 @@ HartSnapshot SnapshotHart(const Hart& hart) {
   return snap;
 }
 
+MachineConfig CosimMachineConfig(const CosimProgram& program, const LockstepConfig& config) {
+  MachineConfig mc;
+  mc.hart_count = program.opts.harts;
+  mc.isa.has_time_csr = true;  // richer CSR surface: `time` reads compare, not trap
+  mc.tuning.decode_cache_entries = config.decode_cache_entries;
+  mc.tuning.tlb_entries = config.tlb_entries;
+  mc.tuning.tlb_enabled = config.tlb_enabled;
+  mc.tuning.superblock_entries = config.superblock_entries;
+  mc.tuning.threaded_enabled = config.threaded;
+  mc.tuning.threaded_promote_threshold = config.threaded_threshold;
+  mc.map.ram_size = CosimLayout::kRamSize;
+  return mc;
+}
+
+bool g_fork_pool_enabled = false;
+
+std::map<std::string, std::unique_ptr<Machine>>& ForkPool() {
+  static auto* pool = new std::map<std::string, std::unique_ptr<Machine>>();
+  return *pool;
+}
+
+// Obtains a Machine for one run: a fresh construction, or — in fork-pool mode — a
+// CoW fork of a pristine template cached per (configuration, hart count).
+std::unique_ptr<Machine> MakeCosimMachine(const CosimProgram& program,
+                                          const LockstepConfig& config) {
+  const MachineConfig mc = CosimMachineConfig(program, config);
+  if (!g_fork_pool_enabled) {
+    return std::make_unique<Machine>(mc);
+  }
+  const std::string key =
+      std::string(config.name) + "/" + std::to_string(mc.hart_count);
+  std::unique_ptr<Machine>& slot = ForkPool()[key];
+  if (!slot) {
+    slot = std::make_unique<Machine>(mc);
+  }
+  return slot->Fork();
+}
+
+void InstallTrapObserver(Machine& machine, RunOutcome* out) {
+  machine.SetTrapObserver([out](const Hart& hart, const StepResult& result) {
+    ++out->total_traps;
+    if (out->traps.size() < kMaxTrapTrace) {
+      out->traps.push_back({static_cast<uint8_t>(hart.index()), result.trap_cause, hart.pc(),
+                            hart.instret(), hart.cycles()});
+    }
+  });
+}
+
+void CollectOutcome(Machine& machine, RunOutcome* out) {
+  out->finished = machine.finisher().finished();
+  out->exit_code = machine.finisher().exit_code();
+  out->uart = machine.uart().output();
+  std::vector<uint8_t> ram(CosimLayout::kRamSize);
+  if (machine.bus().ReadBytes(CosimLayout::kRamBase, ram.data(), ram.size())) {
+    out->ram_hash = Fnv1a(ram.data(), ram.size());
+  }
+  for (unsigned i = 0; i < machine.hart_count(); ++i) {
+    out->harts.push_back(SnapshotHart(machine.hart(i)));
+    out->threaded_promotions += machine.hart(i).threaded_promotions();
+    out->threaded_deopts += machine.hart(i).threaded_deopts();
+  }
+}
+
 }  // namespace
 
 RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
@@ -266,45 +331,67 @@ RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
     return out;
   }
 
-  MachineConfig mc;
-  mc.hart_count = program.opts.harts;
-  mc.isa.has_time_csr = true;  // richer CSR surface: `time` reads compare, not trap
-  mc.tuning.decode_cache_entries = config.decode_cache_entries;
-  mc.tuning.tlb_entries = config.tlb_entries;
-  mc.tuning.tlb_enabled = config.tlb_enabled;
-  mc.tuning.superblock_entries = config.superblock_entries;
-  mc.tuning.threaded_enabled = config.threaded;
-  mc.tuning.threaded_promote_threshold = config.threaded_threshold;
-  mc.map.ram_size = CosimLayout::kRamSize;
-  Machine machine(mc);
-  machine.LoadImage(image.value().base, image.value().bytes);
-  machine.SetTrapObserver([&out](const Hart& hart, const StepResult& result) {
-    ++out.total_traps;
-    if (out.traps.size() < kMaxTrapTrace) {
-      out.traps.push_back({static_cast<uint8_t>(hart.index()), result.trap_cause, hart.pc(),
-                           hart.instret(), hart.cycles()});
-    }
-  });
+  const std::unique_ptr<Machine> machine = MakeCosimMachine(program, config);
+  machine->LoadImage(image.value().base, image.value().bytes);
+  InstallTrapObserver(*machine, &out);
 
   if (with_refmodel && program.opts.harts == 1) {
-    RunBaselineLoop(machine, program, &out);
+    RunBaselineLoop(*machine, program, &out);
   } else {
-    machine.RunUntilFinished(program.opts.budget);
+    machine->RunUntilFinished(program.opts.budget);
   }
 
-  out.finished = machine.finisher().finished();
-  out.exit_code = machine.finisher().exit_code();
-  out.uart = machine.uart().output();
-  std::vector<uint8_t> ram(CosimLayout::kRamSize);
-  if (machine.bus().ReadBytes(CosimLayout::kRamBase, ram.data(), ram.size())) {
-    out.ram_hash = Fnv1a(ram.data(), ram.size());
-  }
-  for (unsigned i = 0; i < machine.hart_count(); ++i) {
-    out.harts.push_back(SnapshotHart(machine.hart(i)));
-    out.threaded_promotions += machine.hart(i).threaded_promotions();
-    out.threaded_deopts += machine.hart(i).threaded_deopts();
-  }
+  CollectOutcome(*machine, &out);
   return out;
+}
+
+RunOutcome RunProgramSplit(const CosimProgram& program, const LockstepConfig& config,
+                           uint64_t snapshot_at) {
+  RunOutcome out;
+  const Result<Image> image = BuildCosimImage(program);
+  if (!image.ok()) {
+    out.build_error = image.error();
+    return out;
+  }
+
+  const uint64_t budget = program.opts.budget;
+  const uint64_t round_cap = 4 * budget;
+
+  // Phase 1: run to the snapshot point on the first machine, tracking exactly how
+  // much of the instruction and round budget it consumed.
+  const std::unique_ptr<Machine> first = MakeCosimMachine(program, config);
+  first->LoadImage(image.value().base, image.value().bytes);
+  InstallTrapObserver(*first, &out);
+  Machine::RunProgress progress;
+  first->RunUntilFinished(std::min(snapshot_at, budget), round_cap, &progress);
+
+  Snapshot snapshot;
+  first->SaveSnapshot(snapshot);
+
+  // Phase 2: restore into a fresh machine and finish with the *remaining* budget,
+  // so the split run retires instructions at the same budget boundaries as the
+  // uninterrupted one.
+  const std::unique_ptr<Machine> second = MakeCosimMachine(program, config);
+  if (!second->RestoreSnapshot(snapshot)) {
+    out.build_error = "snapshot restore failed";
+    return out;
+  }
+  InstallTrapObserver(*second, &out);
+  if (!second->finisher().finished() && progress.retired < budget &&
+      progress.rounds < round_cap) {
+    second->RunUntilFinished(budget - progress.retired, round_cap - progress.rounds,
+                             nullptr);
+  }
+
+  CollectOutcome(*second, &out);
+  return out;
+}
+
+void SetForkPoolEnabled(bool enabled) {
+  g_fork_pool_enabled = enabled;
+  if (!enabled) {
+    ForkPool().clear();
+  }
 }
 
 std::string CompareOutcomes(const RunOutcome& a, const RunOutcome& b) {
@@ -402,6 +489,23 @@ CheckResult CheckProgram(const CosimProgram& program) {
     const std::string diff = CompareOutcomes(baseline, alt);
     if (!diff.empty()) {
       return {false, std::string(configs[i].name) + " vs " + configs[0].name + ": " + diff};
+    }
+  }
+  // The snapshot leg: every configuration's split run (save at snapshot_at retired
+  // instructions, restore into a fresh machine, finish there) must reproduce the
+  // uninterrupted outcome bit for bit.
+  if (program.opts.snapshot_at != 0) {
+    for (const LockstepConfig& config : configs) {
+      const RunOutcome split =
+          RunProgramSplit(program, config, program.opts.snapshot_at);
+      if (!split.build_error.empty()) {
+        return {false, std::string(config.name) + " snapshot: " + split.build_error};
+      }
+      const RunOutcome whole = RunProgram(program, config, /*with_refmodel=*/false);
+      const std::string diff = CompareOutcomes(whole, split);
+      if (!diff.empty()) {
+        return {false, std::string(config.name) + " snapshot round-trip: " + diff};
+      }
     }
   }
   return {};

@@ -99,6 +99,24 @@ constexpr unsigned kMaxTrapTrace = 2048;
 RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
                       bool with_refmodel);
 
+// Runs `program` on `config` split at `snapshot_at` retired instructions: phase 1
+// runs on one Machine, a whole-machine snapshot is saved and restored into a second,
+// freshly constructed Machine, and phase 2 finishes there with the remaining
+// instruction and round budget. With correct snapshots the combined outcome is
+// bit-identical to the uninterrupted RunProgram — this is the snapshot round-trip
+// oracle of the lockstep matrix (DESIGN.md §2h). A restore failure is reported
+// through RunOutcome::build_error.
+RunOutcome RunProgramSplit(const CosimProgram& program, const LockstepConfig& config,
+                           uint64_t snapshot_at);
+
+// Fork-from-boot-snapshot mode (DESIGN.md §2h): when enabled, every Machine the
+// lockstep runners need is obtained by Fork()ing a cached pristine per-configuration
+// template instead of being constructed from scratch. Soaks skip the repeated
+// construction prefix, and — because outcomes are still compared across
+// configurations — every fuzzed program doubles as a CoW-fork correctness check.
+// Disabling clears the template pool.
+void SetForkPoolEnabled(bool enabled);
+
 // Returns a human-readable description of the first difference between two outcomes,
 // or an empty string if they are observably identical.
 std::string CompareOutcomes(const RunOutcome& a, const RunOutcome& b);

@@ -902,6 +902,9 @@ std::string SaveSeedFile(const CosimProgram& p) {
   out << "actions " << p.opts.num_actions << "\n";
   out << "budget " << p.opts.budget << "\n";
   out << "traplimit " << p.opts.trap_limit << "\n";
+  if (p.opts.snapshot_at != 0) {
+    out << "snapshot " << p.opts.snapshot_at << "\n";
+  }
   if (p.keep.size() == p.actions.size()) {
     out << "keep all\n";
   } else {
@@ -942,6 +945,8 @@ Result<CosimProgram> ParseSeedFile(const std::string& text) {
       ls >> opts.budget;
     } else if (key == "traplimit") {
       ls >> opts.trap_limit;
+    } else if (key == "snapshot") {
+      ls >> opts.snapshot_at;
     } else if (key == "keep") {
       std::string first;
       ls >> first;

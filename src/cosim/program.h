@@ -85,6 +85,10 @@ struct GenOptions {
   unsigned num_actions = 160;
   uint64_t budget = 100'000;  // instruction budget per run
   unsigned trap_limit = 300;  // M-handler bails through the finisher past this
+  // When nonzero, CheckProgram adds a snapshot leg per configuration: the run is
+  // split at this many retired instructions (save -> restore into a fresh Machine ->
+  // finish there) and must reproduce the uninterrupted outcome bit for bit.
+  uint64_t snapshot_at = 0;
 };
 
 struct CosimProgram {

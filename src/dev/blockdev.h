@@ -51,6 +51,8 @@ class BlockDev : public MmioDevice {
   const char* name() const override { return "blockdev"; }
   bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
   bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+  void SaveState(StateWriter& writer) const override;
+  bool LoadState(StateReader& reader) override;
 
   // Advances device time; completes an in-flight command when its deadline passes.
   void Tick(uint64_t now_ticks);

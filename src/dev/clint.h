@@ -29,6 +29,8 @@ class Clint : public MmioDevice {
   const char* name() const override { return "clint"; }
   bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
   bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+  void SaveState(StateWriter& writer) const override;
+  bool LoadState(StateReader& reader) override;
 
   // Timer state, driven by the machine.
   uint64_t mtime() const { return mtime_; }

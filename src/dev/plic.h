@@ -30,6 +30,8 @@ class Plic : public MmioDevice {
   const char* name() const override { return "plic"; }
   bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
   bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+  void SaveState(StateWriter& writer) const override;
+  bool LoadState(StateReader& reader) override;
 
   // Device-side interface: raise or clear a source's interrupt line.
   void RaiseSource(unsigned source);

@@ -25,6 +25,8 @@ class Uart : public MmioDevice {
   const char* name() const override { return "uart"; }
   bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
   bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+  void SaveState(StateWriter& writer) const override;
+  bool LoadState(StateReader& reader) override;
 
   // Host-side access to the console.
   const std::string& output() const { return output_; }

@@ -2,15 +2,141 @@
 
 #include <cstring>
 
+#ifdef __linux__
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 #include "src/common/check.h"
+#include "src/common/state.h"
 
 namespace vfm {
+
+void MmioDevice::SaveState(StateWriter& writer) const { (void)writer; }
+bool MmioDevice::LoadState(StateReader& reader) {
+  (void)reader;
+  return true;
+}
+
+namespace {
+
+uint64_t HostPageSize() {
+#ifdef __linux__
+  static const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+#else
+  return 4096;
+#endif
+}
+
+}  // namespace
+
+uint64_t Ram::map_size() const {
+  const uint64_t page = HostPageSize();
+  return (size_ + page - 1) & ~(page - 1);
+}
 
 Ram::Ram(uint64_t base, uint64_t size)
     : base_(base),
       size_(size),
-      bytes_(size, 0),
-      page_marks_((size + (uint64_t{1} << kPageShift) - 1) >> kPageShift, 0) {}
+      page_marks_((size + (uint64_t{1} << kPageShift) - 1) >> kPageShift, 0) {
+#ifdef __linux__
+  // Preferred backing: an owned memfd mapped shared. Freezing then costs nothing —
+  // the fd transfers into the RamImage and this mapping flips to a private view.
+  const int fd = ::memfd_create("vfm-ram", MFD_CLOEXEC);
+  if (fd >= 0 && ::ftruncate(fd, static_cast<off_t>(map_size())) == 0) {
+    void* map = ::mmap(nullptr, map_size(), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<uint8_t*>(map);
+      mapped_ = true;
+      owned_fd_ = fd;
+      return;
+    }
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+#endif
+  // Fallback: heap backing, manually aligned to the host page size so CoW page
+  // references stay well-formed even without mmap.
+  const uint64_t page = HostPageSize();
+  heap_.resize(map_size() + page, 0);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(heap_.data());
+  data_ = reinterpret_cast<uint8_t*>((raw + page - 1) & ~(uintptr_t{page} - 1));
+}
+
+Ram::~Ram() {
+#ifdef __linux__
+  if (mapped_) {
+    ::munmap(data_, map_size());
+  }
+  if (owned_fd_ >= 0) {
+    ::close(owned_fd_);
+  }
+#endif
+}
+
+std::shared_ptr<RamImage> Ram::Freeze() {
+  if (image_ != nullptr && !maybe_dirty_) {
+    return image_;  // unmodified view of an existing image: share it
+  }
+#ifdef __linux__
+  if (mapped_ && owned_fd_ >= 0) {
+    // Transfer the backing into the image and keep a private view of it mapped at
+    // the same address (data() must not move: harts hold host pointers into it,
+    // guarded by ram_generation, and the bus fast path caches it).
+    auto image = std::make_shared<RamImage>(owned_fd_, map_size(), std::vector<uint8_t>{});
+    owned_fd_ = -1;
+    void* map = ::mmap(data_, map_size(), PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_FIXED, image->fd(), 0);
+    VFM_CHECK_MSG(map == data_, "RAM freeze remap failed");
+    image_ = std::move(image);
+    maybe_dirty_ = false;
+    return image_;
+  }
+  if (mapped_) {
+    // A modified private view: the image's pages are no longer ours to give away,
+    // so copy the current contents into a fresh image and rebase onto it.
+    auto image = RamImage::FromBytes(data_, map_size());
+    if (image->mappable()) {
+      void* map = ::mmap(data_, map_size(), PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_FIXED, image->fd(), 0);
+      VFM_CHECK_MSG(map == data_, "RAM freeze remap failed");
+    }
+    image_ = std::move(image);
+    maybe_dirty_ = false;
+    return image_;
+  }
+#endif
+  image_ = RamImage::FromBytes(data_, map_size());
+  maybe_dirty_ = false;
+  return image_;
+}
+
+void Ram::AdoptImage(std::shared_ptr<RamImage> image) {
+  VFM_CHECK_MSG(image != nullptr && image->size() == map_size(),
+                "RAM image size mismatch");
+  if (image == image_ && !maybe_dirty_) {
+    return;  // already an unmodified view of this image
+  }
+#ifdef __linux__
+  if (mapped_ && image->mappable()) {
+    void* map = ::mmap(data_, map_size(), PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_FIXED, image->fd(), 0);
+    VFM_CHECK_MSG(map == data_, "RAM adopt remap failed");
+    if (owned_fd_ >= 0) {
+      ::close(owned_fd_);
+      owned_fd_ = -1;
+    }
+    image_ = std::move(image);
+    maybe_dirty_ = false;
+    return;
+  }
+#endif
+  image->CopyTo(data_);
+  image_ = std::move(image);
+  maybe_dirty_ = false;
+}
 
 Ram* Bus::AddRam(uint64_t base, uint64_t size) {
   VFM_CHECK_MSG(size > 0, "RAM region must be non-empty");
@@ -25,6 +151,7 @@ Ram* Bus::AddRam(uint64_t base, uint64_t size) {
     ram0_limit_ = size;
     ram0_data_ = ram_.front()->data();
     ram0_marks_ = ram_.front()->page_marks();
+    ram0_region_ = ram_.front().get();
   }
   return ram_.back().get();
 }
@@ -79,6 +206,7 @@ bool Bus::WriteSlow(uint64_t addr, unsigned size, uint64_t value) {
     if (marks != 0) {
       InvalidateMarkedPages(marks);
     }
+    mutable_region->SetMaybeDirty();
     std::memcpy(mutable_region->data() + (addr - region->base()), &value, size);
     return true;
   }
@@ -118,6 +246,7 @@ bool Bus::WriteBytes(uint64_t addr, const void* data, uint64_t size) {
       InvalidateMarkedPages(marks);
     }
   }
+  mutable_region->SetMaybeDirty();
   std::memcpy(mutable_region->data() + (addr - region->base()), data, size);
   return true;
 }
@@ -154,6 +283,67 @@ bool Bus::MarkPtPage(uint64_t paddr) {
   }
   const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift] |= kPtMark;
   any_marks_ = true;
+  return true;
+}
+
+void Bus::FreezeRam(std::vector<std::shared_ptr<RamImage>>* images) {
+  for (auto& region : ram_) {
+    images->push_back(region->Freeze());
+  }
+}
+
+void Bus::AdoptRam(const std::vector<std::shared_ptr<RamImage>>& images) {
+  VFM_CHECK_MSG(images.size() == ram_.size(), "snapshot RAM region count mismatch");
+  for (size_t i = 0; i < ram_.size(); ++i) {
+    ram_[i]->AdoptImage(images[i]);
+    std::memset(ram_[i]->page_marks(), 0, ram_[i]->page_count());
+  }
+  any_marks_ = false;
+}
+
+void Bus::SetRamMaybeDirty() {
+  for (auto& region : ram_) {
+    region->SetMaybeDirty();
+  }
+}
+
+void Bus::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("BUSS"), 1);
+  writer.U32(static_cast<uint32_t>(ram_.size()));
+  for (const auto& region : ram_) {
+    writer.U64(region->base());
+    writer.U64(region->size());
+  }
+  // Informational: generations let a debugger relate a snapshot to live counters.
+  writer.U64(code_generation_);
+  writer.U64(pt_generation_);
+  writer.U64(ram_generation_);
+  writer.EndSection();
+}
+
+bool Bus::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("BUSS"));
+  const uint32_t count = reader.U32();
+  if (reader.ok() && count != ram_.size()) {
+    reader.Fail("snapshot RAM region count mismatch");
+  }
+  for (const auto& region : ram_) {
+    const uint64_t base = reader.U64();
+    const uint64_t size = reader.U64();
+    if (reader.ok() && (base != region->base() || size != region->size())) {
+      reader.Fail("snapshot RAM region geometry mismatch");
+    }
+  }
+  reader.EndSection();  // generations: read-only debug info, skipped
+  if (!reader.ok()) {
+    return false;
+  }
+  // All translation caches are being reset by the restore, so dependency marks
+  // restart empty and rebuild on refill.
+  for (auto& region : ram_) {
+    std::memset(region->page_marks(), 0, region->page_count());
+  }
+  any_marks_ = false;
   return true;
 }
 

@@ -23,7 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "src/mem/cow.h"
+
 namespace vfm {
+
+class StateReader;
+class StateWriter;
 
 enum class AccessType : uint8_t {
   kFetch = 0,
@@ -46,20 +51,34 @@ inline const char* AccessTypeName(AccessType type) {
 // Interface implemented by memory-mapped devices. Offsets are relative to the device's
 // base address. `size` is 1, 2, 4, or 8. Returns false on an access the device
 // rejects, which the hart reports as an access fault.
+//
+// Devices also participate in whole-machine snapshots (DESIGN.md §2h) through the
+// uniform state API: SaveState emits the device's architectural state as one tagged
+// section, LoadState restores it. The defaults are no-ops so stateless devices and
+// test doubles need nothing.
 class MmioDevice {
  public:
   virtual ~MmioDevice() = default;
   virtual const char* name() const = 0;
   virtual bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) = 0;
   virtual bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) = 0;
+  virtual void SaveState(StateWriter& writer) const;
+  virtual bool LoadState(StateReader& reader);
 };
 
-// A contiguous RAM region.
+// A contiguous RAM region. Backing is a host-page-aligned mmap (heap fallback where
+// mmap is unavailable), so snapshots can hold RAM as page-granular copy-on-write
+// references: Freeze() detaches the current contents into an immutable refcounted
+// RamImage and leaves the region a private (CoW) view of it; AdoptImage() rebinds
+// the region to an image without copying. data() never moves across either.
 class Ram {
  public:
   static constexpr uint64_t kPageShift = 12;
 
   Ram(uint64_t base, uint64_t size);
+  ~Ram();
+  Ram(const Ram&) = delete;
+  Ram& operator=(const Ram&) = delete;
 
   uint64_t base() const { return base_; }
   uint64_t size() const { return size_; }
@@ -67,18 +86,41 @@ class Ram {
     return addr >= base_ && addr + access_size <= base_ + size_;
   }
 
-  uint8_t* data() { return bytes_.data(); }
-  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
 
   // Dependency-page marks: one bitmask byte per 4 KiB page (see Bus::MarkExecPage /
   // Bus::MarkPtPage).
   uint8_t* page_marks() { return page_marks_.data(); }
   uint64_t page_count() const { return page_marks_.size(); }
 
+  // -- Snapshot support (DESIGN.md §2h). --------------------------------------------
+  // Captures the current contents as an immutable CoW image. O(1) when the region is
+  // an unmodified view of a previously frozen/adopted image (the refcount is all
+  // that moves) and when the region still owns its original mapping (the backing
+  // transfers, no bytes copied); O(size) only when a CoW view has been written to
+  // since. The region remains fully writable and data() is unchanged.
+  std::shared_ptr<RamImage> Freeze();
+  // Replaces the contents with `image` (whose size must match). When both sides are
+  // mmap-backed no bytes are copied — the region becomes a private view and pages
+  // materialize on first write. Page marks are untouched (the caller owns mark
+  // policy on restore).
+  void AdoptImage(std::shared_ptr<RamImage> image);
+  // Conservative dirty tracking for Freeze()'s O(1) reuse: any path that may have
+  // modified RAM sets this; Freeze clears it.
+  void SetMaybeDirty() { maybe_dirty_ = true; }
+
  private:
+  uint64_t map_size() const;
+
   uint64_t base_;
   uint64_t size_;
-  std::vector<uint8_t> bytes_;
+  uint8_t* data_ = nullptr;
+  bool mapped_ = false;              // data_ is an mmap (vs. pointing into heap_)
+  int owned_fd_ = -1;                // memfd behind an owned MAP_SHARED mapping
+  std::shared_ptr<RamImage> image_;  // set while data_ is a private view of it
+  bool maybe_dirty_ = true;
+  std::vector<uint8_t> heap_;        // fallback backing when mmap is unavailable
   std::vector<uint8_t> page_marks_;
 };
 
@@ -119,6 +161,7 @@ class Bus {
       if (marks != 0) {
         InvalidateMarkedPages(marks);
       }
+      ram0_region_->SetMaybeDirty();
       std::memcpy(ram0_data_ + offset, &value, size);
       return true;
     }
@@ -174,6 +217,25 @@ class Bus {
 
   const std::vector<MmioWindow>& mmio_windows() const { return mmio_; }
 
+  // -- Snapshot support (DESIGN.md §2h). --------------------------------------------
+  // Freezes every RAM region into CoW images, appended to *images in region order.
+  void FreezeRam(std::vector<std::shared_ptr<RamImage>>* images);
+  // Rebinds every RAM region to the matching image (region order; count and sizes
+  // must match the bus's regions). Clears all dependency-page marks: the caller is
+  // restoring into a machine whose translation caches are being reset wholesale, so
+  // marks rebuild from scratch as caches refill.
+  void AdoptRam(const std::vector<std::shared_ptr<RamImage>>& images);
+  // Marks all RAM regions possibly-modified (host-pointer stores bypass Bus::Write,
+  // so run loops call this conservatively on entry).
+  void SetRamMaybeDirty();
+  // Saves/loads the bus's own snapshot section: region geometry (verified on load)
+  // and the dependency-mark state. Generation counters are deliberately NOT
+  // restored — they are host-side monotonic clocks, and restoring one backward
+  // could make a stale cached stamp compare equal again. Loading clears all marks
+  // instead (see AdoptRam).
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
+
  private:
   const Ram* FindRam(uint64_t addr, uint64_t size) const;
   bool ReadSlow(uint64_t addr, unsigned size, uint64_t* value);
@@ -191,6 +253,7 @@ class Bus {
   uint64_t ram0_limit_ = 0;  // == ram0 size; 0 until the first AddRam
   uint8_t* ram0_data_ = nullptr;
   uint8_t* ram0_marks_ = nullptr;
+  Ram* ram0_region_ = nullptr;
 
   uint64_t code_generation_ = 0;
   uint64_t pt_generation_ = 0;

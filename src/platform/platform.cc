@@ -21,7 +21,7 @@ PlatformProfile MakePlatform(PlatformKind kind, unsigned hart_count, bool with_b
   PlatformProfile profile;
   MachineConfig& mc = profile.machine;
   mc.hart_count = hart_count;
-  mc.with_blockdev = with_blockdev;
+  mc.blockdev.enabled = with_blockdev;
   mc.isa.pmp_entries = 8;
   mc.isa.has_time_csr = false;  // both boards trap on rdtime (paper §3.4)
   mc.isa.has_sstc = false;

@@ -4,6 +4,7 @@
 
 #include "src/common/bits.h"
 #include "src/common/check.h"
+#include "src/common/state.h"
 
 namespace vfm {
 
@@ -217,6 +218,39 @@ std::string PmpBank::Describe() const {
     out += line;
   }
   return out;
+}
+
+void PmpBank::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("PMPB"), 1);
+  writer.U32(entry_count_);
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    writer.U8(cfg_[i]);
+    writer.U64(addr_[i]);
+  }
+  writer.EndSection();
+}
+
+bool PmpBank::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("PMPB"));
+  const uint32_t count = reader.U32();
+  if (reader.ok() && count != entry_count_) {
+    reader.Fail("pmp entry count mismatch");
+  }
+  uint8_t cfg[kMaxEntries] = {};
+  uint64_t addr[kMaxEntries] = {};
+  for (unsigned i = 0; reader.ok() && i < entry_count_; ++i) {
+    cfg[i] = reader.U8();
+    addr[i] = reader.U64();
+  }
+  reader.EndSection();
+  if (!reader.ok()) {
+    return false;
+  }
+  for (unsigned i = 0; i < entry_count_; ++i) {
+    SetAddr(i, addr[i]);
+    SetCfg(i, PmpCfg::FromByte(cfg[i]));
+  }
+  return true;
 }
 
 }  // namespace vfm

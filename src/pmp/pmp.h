@@ -15,6 +15,9 @@
 
 namespace vfm {
 
+class StateReader;
+class StateWriter;
+
 // Address-matching modes in pmpcfg.A.
 enum class PmpAddrMode : uint8_t {
   kOff = 0,
@@ -116,6 +119,12 @@ class PmpBank {
   std::optional<unsigned> FirstMatch(uint64_t addr) const;
 
   std::string Describe() const;
+
+  // Uniform state API (DESIGN.md §2h). Loading goes through SetCfg/SetAddr, so
+  // generation() keeps moving forward — it is a host-side monotonic clock the harts'
+  // cache stamps fold in, never restored backward.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
 
  private:
   static constexpr uint64_t kAddrMask = (uint64_t{1} << 54) - 1;  // addr[55:2]

@@ -16,6 +16,9 @@
 
 namespace vfm {
 
+class StateReader;
+class StateWriter;
+
 class CsrFile {
  public:
   explicit CsrFile(const HartIsaConfig& config, unsigned hart_index);
@@ -84,6 +87,13 @@ class CsrFile {
   // Time source for the `time` CSR and the Sstc comparator (wired to the CLINT).
   void set_time_source(std::function<uint64_t()> source) { time_source_ = std::move(source); }
   uint64_t ReadTime() const { return time_source_ ? time_source_() : 0; }
+
+  // Uniform state API (DESIGN.md §2h): every architectural CSR plus the nested PMP
+  // bank, in fixed field order. The time source is wiring, not state — the owning
+  // machine re-installs it. Values are stored raw (they were legalized when
+  // written), so a load reproduces the exact architectural state bit for bit.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
 
   // Legalization helpers, exposed for tests.
   uint64_t LegalizeMstatus(uint64_t old_value, uint64_t new_value) const;

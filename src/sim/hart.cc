@@ -5,6 +5,7 @@
 #include "src/common/bits.h"
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/state.h"
 
 namespace vfm {
 
@@ -33,46 +34,67 @@ bool IsStoreOp(Op op) { return op == Op::kSb || op == Op::kSh || op == Op::kSw |
 
 }  // namespace
 
+namespace {
+
+// Rounds up to a power of two so the index is a mask.
+uint64_t RoundUpPow2(uint64_t entries) {
+  while ((entries & (entries - 1)) != 0) {
+    entries += entries & -entries;
+  }
+  return entries;
+}
+
+}  // namespace
+
 Hart::Hart(unsigned index, Bus* bus, const HartIsaConfig& isa, const CostModel* cost,
            const SimTuning& tuning)
     : index_(index), bus_(bus), cost_(cost), csrs_(isa, index) {
-  uint64_t entries = tuning.decode_cache_entries;
-  if (entries != 0) {
-    // Round up to a power of two so the index is a mask.
-    while ((entries & (entries - 1)) != 0) {
-      entries += entries & -entries;
-    }
-    icache_.resize(entries);
-    icache_mask_ = entries - 1;
+  // Cache sizing only — allocation is deferred to the first Tick/RunBatch
+  // (EnsureCaches), keeping hart construction microsecond-cheap for Machine::Fork.
+  if (tuning.decode_cache_entries != 0) {
+    pending_icache_entries_ = RoundUpPow2(tuning.decode_cache_entries);
   }
-  uint64_t tlb_entries = tuning.tlb_enabled ? tuning.tlb_entries : 0;
-  if (tlb_entries != 0) {
-    while ((tlb_entries & (tlb_entries - 1)) != 0) {
-      tlb_entries += tlb_entries & -tlb_entries;
-    }
-    for (auto& array : tlb_) {
-      array.resize(tlb_entries);
-    }
-    tlb_mask_ = tlb_entries - 1;
+  if (tuning.tlb_enabled && tuning.tlb_entries != 0) {
+    pending_tlb_entries_ = RoundUpPow2(tuning.tlb_entries);
   }
   // The superblock cache builds from decode-cache entries, so it is only allocated
   // when the decode cache exists.
-  uint64_t sb_entries = icache_mask_ != 0 ? tuning.superblock_entries : 0;
-  if (sb_entries != 0) {
-    while ((sb_entries & (sb_entries - 1)) != 0) {
-      sb_entries += sb_entries & -sb_entries;
-    }
-    sblocks_.resize(sb_entries);
-    sb_mask_ = sb_entries - 1;
+  if (pending_icache_entries_ != 0 && tuning.superblock_entries != 0) {
+    pending_sb_entries_ = RoundUpPow2(tuning.superblock_entries);
     // The threaded tier lowers from superblocks, so it only exists when they do.
     // instr_base >= 1 is required by the executor's single clamped budget compare
     // (every retired instruction charges at least one cycle); all cost models
     // satisfy it, but a hypothetical free-instruction model falls back cleanly.
     if (tuning.threaded_enabled && cost->instr_base >= 1) {
-      tcode_.resize(sb_entries);
+      pending_threaded_ = true;
       threaded_threshold_ =
           tuning.threaded_promote_threshold == 0 ? 1 : tuning.threaded_promote_threshold;
     }
+  }
+}
+
+void Hart::EnsureCaches() {
+  caches_ready_ = true;
+  if (pending_icache_entries_ != 0) {
+    icache_.resize(pending_icache_entries_);
+    icache_mask_ = pending_icache_entries_ - 1;
+    pending_icache_entries_ = 0;
+  }
+  if (pending_tlb_entries_ != 0) {
+    for (auto& array : tlb_) {
+      array.resize(pending_tlb_entries_);
+    }
+    tlb_mask_ = pending_tlb_entries_ - 1;
+    pending_tlb_entries_ = 0;
+  }
+  if (pending_sb_entries_ != 0) {
+    sblocks_.resize(pending_sb_entries_);
+    sb_mask_ = pending_sb_entries_ - 1;
+    if (pending_threaded_) {
+      tcode_.resize(pending_sb_entries_);
+      pending_threaded_ = false;
+    }
+    pending_sb_entries_ = 0;
   }
 }
 
@@ -517,6 +539,9 @@ StepResult Hart::IllegalInstr(const DecodedInstr& instr) {
 }
 
 StepResult Hart::Tick() {
+  if (!caches_ready_) {
+    EnsureCaches();
+  }
   // Interrupts are sampled before instruction execution.
   if (const std::optional<uint64_t> interrupt = PendingInterrupt()) {
     return TakeTrap(*interrupt, 0);
@@ -603,6 +628,9 @@ StepResult Hart::Tick() {
 }
 
 Hart::BatchResult Hart::RunBatch(uint64_t max_steps, uint64_t stop_cycles) {
+  if (!caches_ready_) {
+    EnsureCaches();
+  }
   BatchResult batch;
   const uint64_t mmio_start = bus_->mmio_ops();
   while (true) {
@@ -2281,6 +2309,57 @@ StepResult Hart::ExecuteWfi(const DecodedInstr& d) {
   }
   waiting_ = true;
   return Retire(pc_ + 4, cost_->instr_base);
+}
+
+void Hart::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("HART"), 1);
+  writer.U32(index_);
+  for (unsigned i = 0; i < 32; ++i) {
+    writer.U64(gpr_[i]);
+  }
+  writer.U64(pc_);
+  writer.U8(static_cast<uint8_t>(priv_));
+  writer.Bool(virt_);
+  writer.Bool(waiting_);
+  writer.Bool(reservation_.has_value());
+  writer.U64(reservation_.value_or(0));
+  writer.U64(traps_taken_);
+  csrs_.SaveState(writer);
+  writer.EndSection();
+}
+
+bool Hart::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("HART"));
+  const uint32_t index = reader.U32();
+  if (reader.ok() && index != index_) {
+    reader.Fail("hart index mismatch");
+  }
+  for (unsigned i = 0; i < 32; ++i) {
+    gpr_[i] = reader.U64();
+  }
+  pc_ = reader.U64();
+  priv_ = static_cast<PrivMode>(reader.U8());
+  virt_ = reader.Bool();
+  waiting_ = reader.Bool();
+  const bool has_reservation = reader.Bool();
+  const uint64_t reservation = reader.U64();
+  reservation_ = has_reservation ? std::optional<uint64_t>(reservation) : std::nullopt;
+  traps_taken_ = reader.U64();
+  if (!csrs_.LoadState(reader)) {
+    return false;
+  }
+  reader.EndSection();
+  if (!reader.ok()) {
+    return false;
+  }
+  // Translation caches are derived state: rather than serialize them, advance the
+  // generation counters so every cached entry's stamp mismatches. All stamp
+  // components are monotonic, so a +1 on each local counter strictly exceeds any
+  // previously recorded stamp — no stale decode/TLB/superblock/threaded entry can
+  // validate again, and they rebuild (and re-mark dependency pages) on demand.
+  ++fence_gen_;
+  ++tlb_gen_;
+  return true;
 }
 
 }  // namespace vfm

@@ -162,6 +162,15 @@ class Hart {
   // Clears any load reservation (the monitor does this on world switches).
   void ClearReservation() { reservation_.reset(); }
 
+  // Uniform state API (DESIGN.md §2h): architectural state only — GPRs, pc,
+  // privilege, virtualization mode, WFI parking, the load reservation, the trap
+  // counter, and the nested CSR file (which carries the PMP bank). The translation
+  // caches (decode cache, TLB, superblocks, threaded code) are host-side derived
+  // state: they are never serialized, and LoadState instead bumps the hart's
+  // generation counters so every cached entry mis-stamps and rebuilds on demand.
+  void SaveState(StateWriter& writer) const;
+  bool LoadState(StateReader& reader);
+
  private:
   struct AccessOutcome {
     bool ok = false;
@@ -374,6 +383,12 @@ class Hart {
                         const void* const** table_out = nullptr);
   void BuildFastMemCtx(FastMemCtx* ctx) const;
 
+  // Allocates the configured translation-cache arrays on first execution. Harts are
+  // constructed cheaply (a forked machine may never run some harts, and eager
+  // multi-megabyte cache allocation would dominate Machine::Fork's latency); Tick()
+  // and RunBatch() pay one predictable branch to trigger this.
+  void EnsureCaches();
+
   unsigned index_;
   Bus* bus_;
   const CostModel* cost_;
@@ -420,6 +435,14 @@ class Hart {
   // when the tier (or the superblock cache) is disabled.
   std::vector<ThreadedBlock> tcode_;
   uint32_t threaded_threshold_ = 8;
+
+  // Deferred cache sizing (see EnsureCaches): entry counts computed at construction,
+  // applied on first execution. All zero once applied (or when disabled).
+  uint64_t pending_icache_entries_ = 0;
+  uint64_t pending_tlb_entries_ = 0;
+  uint64_t pending_sb_entries_ = 0;
+  bool pending_threaded_ = false;
+  bool caches_ready_ = false;
   uint64_t threaded_blocks_ = 0;
   uint64_t threaded_instrs_ = 0;
   uint64_t threaded_promotions_ = 0;

@@ -1,7 +1,10 @@
 #include "src/sim/machine.h"
 
+#include <cinttypes>
+
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/state.h"
 
 namespace vfm {
 
@@ -27,8 +30,68 @@ bool Finisher::MmioWrite(uint64_t offset, unsigned size, uint64_t value) {
   return true;
 }
 
+void Finisher::SaveState(StateWriter& writer) const {
+  writer.BeginSection(StateTag("FINI"), 1);
+  writer.Bool(finished_);
+  writer.U32(exit_code_);
+  writer.EndSection();
+}
+
+bool Finisher::LoadState(StateReader& reader) {
+  reader.BeginSection(StateTag("FINI"));
+  const bool finished = reader.Bool();
+  const uint32_t exit_code = reader.U32();
+  reader.EndSection();
+  if (!reader.ok()) {
+    return false;
+  }
+  finished_ = finished;
+  exit_code_ = exit_code;
+  return true;
+}
+
+namespace {
+
+// Pairwise-disjointness check for the memory map: silent region aliasing would route
+// accesses to whichever window registered first, an error class better caught at
+// construction with names attached.
+void ValidateMemoryMap(const MachineConfig& config) {
+  struct Region {
+    const char* name;
+    uint64_t base;
+    uint64_t size;
+  };
+  Region regions[6];
+  unsigned count = 0;
+  regions[count++] = {"ram", config.map.ram_base, config.map.ram_size};
+  regions[count++] = {"clint", config.map.clint_base, Clint::kSize};
+  regions[count++] = {"plic", config.map.plic_base, Plic::kSize};
+  regions[count++] = {"uart", config.map.uart_base, Uart::kSize};
+  regions[count++] = {"finisher", config.map.finisher_base, Finisher::kSize};
+  if (config.blockdev.enabled) {
+    regions[count++] = {"blockdev", config.map.blockdev_base, BlockDev::kSize};
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    for (unsigned j = i + 1; j < count; ++j) {
+      const bool overlap = regions[i].base < regions[j].base + regions[j].size &&
+                           regions[j].base < regions[i].base + regions[i].size;
+      if (overlap) {
+        VFM_LOG_ERROR("sim",
+                      "memory map regions overlap: %s [0x%" PRIx64 ", 0x%" PRIx64
+                      ") and %s [0x%" PRIx64 ", 0x%" PRIx64 ")",
+                      regions[i].name, regions[i].base, regions[i].base + regions[i].size,
+                      regions[j].name, regions[j].base, regions[j].base + regions[j].size);
+        VFM_CHECK_MSG(false, "MemoryMap regions overlap");
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& config) : config_(config) {
   VFM_CHECK(config_.hart_count >= 1);
+  ValidateMemoryMap(config_);
   bus_.AddRam(config_.map.ram_base, config_.map.ram_size);
 
   clint_ = std::make_unique<Clint>(config_.hart_count);
@@ -43,11 +106,11 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
   finisher_ = std::make_unique<Finisher>();
   bus_.AddMmio(config_.map.finisher_base, Finisher::kSize, finisher_.get());
 
-  if (config_.with_blockdev) {
+  if (config_.blockdev.enabled) {
     blockdev_ = std::make_unique<BlockDev>(&bus_, plic_.get(), /*plic_source=*/2,
-                                           config_.blockdev_sectors,
-                                           config_.blockdev_latency_ticks,
-                                           config_.blockdev_ticks_per_sector);
+                                           config_.blockdev.sectors,
+                                           config_.blockdev.latency_ticks,
+                                           config_.blockdev.ticks_per_sector);
     bus_.AddMmio(config_.map.blockdev_base, BlockDev::kSize, blockdev_.get());
   }
 
@@ -96,6 +159,9 @@ void Machine::RefreshInterruptLines() {
 }
 
 uint64_t Machine::StepAll() {
+  // Superblock host-pointer stores bypass Bus::Write, so any execution round may
+  // dirty RAM behind the bus's back; mark conservatively for the CoW freeze reuse.
+  bus_.SetRamMaybeDirty();
   RefreshInterruptLines();
   uint64_t retired = 0;
   for (auto& hart : harts_) {
@@ -189,17 +255,29 @@ uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
 }
 
 bool Machine::RunUntilFinished(uint64_t max_instructions) {
+  return RunUntilFinished(max_instructions, 4 * max_instructions, nullptr);
+}
+
+bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
+                               RunProgress* progress) {
   // Multi-hart machines interleave per-instruction (harts observe each other's
   // stores and IPIs round by round); batching is a single-hart optimization.
   if (hart_count() != 1) {
-    return RunUntil([] { return false; }, max_instructions);
+    return RunUntil([] { return false; }, max_instructions, max_rounds, progress);
   }
+  bus_.SetRamMaybeDirty();  // see StepAll
   Hart& hart = *harts_[0];
   const uint64_t max_batch =
       config_.tuning.max_batch_instructions > 0 ? config_.tuning.max_batch_instructions : 1;
-  const uint64_t round_cap = 4 * max_instructions;
+  const uint64_t round_cap = max_rounds;
   uint64_t retired = 0;
   uint64_t rounds = 0;
+  const auto report = [&] {
+    if (progress != nullptr) {
+      progress->retired = retired;
+      progress->rounds = rounds;
+    }
+  };
   while (!finisher_->finished()) {
     RefreshInterruptLines();
     // Batch size: the configured cap, clamped so the batch cannot overshoot either
@@ -268,22 +346,36 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
       rounds += FastForwardIdle(round_cap - rounds);
     }
     if (retired >= max_instructions || rounds >= round_cap) {
+      report();
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
                    static_cast<unsigned long long>(max_instructions),
                    hart.waiting() ? "all harts idle" : "harts still running");
       return false;
     }
   }
+  report();
   return true;
 }
 
 bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions) {
-  const uint64_t round_cap = 4 * max_instructions;
+  return RunUntil(predicate, max_instructions, 4 * max_instructions, nullptr);
+}
+
+bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions,
+                       uint64_t max_rounds, RunProgress* progress) {
+  const uint64_t round_cap = max_rounds;
   uint64_t retired = 0;
   uint64_t rounds = 0;
+  const auto report = [&] {
+    if (progress != nullptr) {
+      progress->retired = retired;
+      progress->rounds = rounds;
+    }
+  };
   // Check the finisher and predicate every round; rounds are cheap (hart_count ticks).
   while (!finisher_->finished()) {
     if (predicate()) {
+      report();
       return true;
     }
     retired += StepAll();
@@ -307,13 +399,119 @@ bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_inst
     }
     // The round bound also terminates a machine where every hart is parked in WFI.
     if (retired >= max_instructions || rounds >= round_cap) {
+      report();
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
                    static_cast<unsigned long long>(max_instructions),
                    all_waiting ? "all harts idle" : "harts still running");
       return false;
     }
   }
+  report();
   return true;
+}
+
+void Machine::SaveSnapshot(Snapshot& snapshot) {
+  snapshot.state.clear();
+  snapshot.ram.clear();
+  StateWriter writer;
+  writer.BeginSection(StateTag("MACH"), 1);
+  // Configuration fingerprint: a snapshot only restores onto a machine whose
+  // simulated-behaviour-relevant configuration matches bit for bit. (Host tuning is
+  // deliberately excluded — restoring onto a differently-tuned machine is exactly
+  // the cosim matrix's job.)
+  writer.U32(config_.hart_count);
+  writer.U64(config_.map.ram_base);
+  writer.U64(config_.map.ram_size);
+  writer.U64(config_.map.clint_base);
+  writer.U64(config_.map.plic_base);
+  writer.U64(config_.map.uart_base);
+  writer.U64(config_.map.blockdev_base);
+  writer.U64(config_.map.finisher_base);
+  writer.Bool(config_.blockdev.enabled);
+  writer.U64(config_.blockdev.sectors);
+  writer.U32(config_.isa.pmp_entries);
+  writer.Bool(config_.isa.has_time_csr);
+  writer.Bool(config_.isa.has_sstc);
+  writer.Bool(config_.isa.has_h_ext);
+  writer.Bool(config_.isa.has_custom_csrs);
+  writer.Bool(config_.isa.hw_misaligned);
+  // Per-hart sections, the bus section, then every device in bus registration
+  // order — the uniform state API means the machine never enumerates device types.
+  for (const auto& hart : harts_) {
+    hart->SaveState(writer);
+  }
+  bus_.SaveState(writer);
+  for (const Bus::MmioWindow& window : bus_.mmio_windows()) {
+    window.device->SaveState(writer);
+  }
+  writer.EndSection();
+  snapshot.state = writer.Take();
+  bus_.FreezeRam(&snapshot.ram);
+}
+
+bool Machine::RestoreSnapshot(const Snapshot& snapshot) {
+  StateReader reader(snapshot.state);
+  reader.BeginSection(StateTag("MACH"));
+  const uint32_t hart_count = reader.U32();
+  const uint64_t ram_base = reader.U64();
+  const uint64_t ram_size = reader.U64();
+  const uint64_t clint_base = reader.U64();
+  const uint64_t plic_base = reader.U64();
+  const uint64_t uart_base = reader.U64();
+  const uint64_t blockdev_base = reader.U64();
+  const uint64_t finisher_base = reader.U64();
+  const bool blockdev_enabled = reader.Bool();
+  const uint64_t blockdev_sectors = reader.U64();
+  const uint32_t pmp_entries = reader.U32();
+  const bool has_time_csr = reader.Bool();
+  const bool has_sstc = reader.Bool();
+  const bool has_h_ext = reader.Bool();
+  const bool has_custom_csrs = reader.Bool();
+  const bool hw_misaligned = reader.Bool();
+  if (reader.ok() &&
+      (hart_count != config_.hart_count || ram_base != config_.map.ram_base ||
+       ram_size != config_.map.ram_size || clint_base != config_.map.clint_base ||
+       plic_base != config_.map.plic_base || uart_base != config_.map.uart_base ||
+       blockdev_base != config_.map.blockdev_base ||
+       finisher_base != config_.map.finisher_base ||
+       blockdev_enabled != config_.blockdev.enabled ||
+       blockdev_sectors != config_.blockdev.sectors ||
+       pmp_entries != config_.isa.pmp_entries ||
+       has_time_csr != config_.isa.has_time_csr || has_sstc != config_.isa.has_sstc ||
+       has_h_ext != config_.isa.has_h_ext ||
+       has_custom_csrs != config_.isa.has_custom_csrs ||
+       hw_misaligned != config_.isa.hw_misaligned)) {
+    reader.Fail("snapshot fingerprint does not match this machine's configuration");
+  }
+  for (auto& hart : harts_) {
+    if (reader.ok() && !hart->LoadState(reader)) {
+      break;
+    }
+  }
+  if (reader.ok()) {
+    bus_.LoadState(reader);
+  }
+  for (const Bus::MmioWindow& window : bus_.mmio_windows()) {
+    if (reader.ok() && !window.device->LoadState(reader)) {
+      break;
+    }
+  }
+  reader.EndSection();
+  if (!reader.ok()) {
+    VFM_LOG_WARN("sim", "snapshot restore failed: %s", reader.error().c_str());
+    return false;
+  }
+  bus_.AdoptRam(snapshot.ram);
+  return true;
+}
+
+std::unique_ptr<Machine> Machine::Fork() {
+  Snapshot snapshot;
+  SaveSnapshot(snapshot);
+  auto child = std::make_unique<Machine>(config_);
+  const bool restored = child->RestoreSnapshot(snapshot);
+  VFM_CHECK_MSG(restored, "Machine::Fork: restore of own snapshot failed");
+  return child;
 }
 
 uint64_t Machine::total_instret() const {

@@ -31,7 +31,9 @@ class MmodeOwner {
   virtual void OnMachineTrap(Hart& hart) = 0;
 };
 
-// Physical memory map shared by the platform profiles.
+// Physical memory map shared by the platform profiles. Machine construction
+// validates that the enabled regions are pairwise disjoint (silent aliasing would
+// route accesses to whichever window registered first).
 struct MemoryMap {
   uint64_t ram_base = 0x8000'0000;
   uint64_t ram_size = 128ull << 20;
@@ -42,16 +44,22 @@ struct MemoryMap {
   uint64_t finisher_base = 0x10'0000;
 };
 
+// Block-device instantiation knobs (device model parameters live with the device
+// they configure; the map above owns only its MMIO window).
+struct BlockdevConfig {
+  bool enabled = false;
+  uint64_t sectors = 16384;        // disk capacity in 512-byte sectors
+  uint64_t latency_ticks = 20;     // fixed command setup latency (device ticks)
+  uint64_t ticks_per_sector = 2;   // per-sector transfer time (device ticks)
+};
+
 struct MachineConfig {
   unsigned hart_count = 1;
   HartIsaConfig isa;
   CostModel cost;
   SimTuning tuning;  // host-side speed knobs; no effect on simulated behaviour
   MemoryMap map;
-  bool with_blockdev = false;
-  uint64_t blockdev_sectors = 16384;
-  uint64_t blockdev_latency_ticks = 20;
-  uint64_t blockdev_ticks_per_sector = 2;
+  BlockdevConfig blockdev;
 };
 
 // The SiFive-style test finisher: a store of kFinishPass/kFinishFail powers off the
@@ -65,6 +73,8 @@ class Finisher : public MmioDevice {
   const char* name() const override { return "finisher"; }
   bool MmioRead(uint64_t offset, unsigned size, uint64_t* value) override;
   bool MmioWrite(uint64_t offset, unsigned size, uint64_t value) override;
+  void SaveState(StateWriter& writer) const override;
+  bool LoadState(StateReader& reader) override;
 
   bool finished() const { return finished_; }
   uint32_t exit_code() const { return exit_code_; }
@@ -72,6 +82,17 @@ class Finisher : public MmioDevice {
  private:
   bool finished_ = false;
   uint32_t exit_code_ = 0;
+};
+
+// A whole-machine snapshot (DESIGN.md §2h): one tagged-section state stream holding
+// every hart, the bus section, and every device (in bus registration order), plus
+// the RAM contents as refcounted copy-on-write images — many machines restored from
+// the same snapshot share RAM pages until they diverge. Snapshots are
+// machine-independent values: save on one Machine, restore on any other constructed
+// from the same MachineConfig.
+struct Snapshot {
+  std::vector<uint8_t> state;
+  std::vector<std::shared_ptr<RamImage>> ram;  // one per bus RAM region, in order
 };
 
 class Machine {
@@ -112,6 +133,41 @@ class Machine {
 
   // Runs until `predicate` returns true, the finisher fires, or the budget runs out.
   bool RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions);
+
+  // Exact-resume run variants. A run with instruction budget B is bounded by B
+  // retired instructions AND 4*B rounds; splitting it at an instruction boundary
+  // (snapshot, then resume on a restored machine) reproduces the uninterrupted run
+  // bit-identically only if the resumed leg inherits the *remaining* budget and
+  // round allowance. These overloads expose both bounds and report the amounts
+  // consumed, so callers can thread them across a save/restore split:
+  //   phase 1: RunUntil(pred, B, 4*B, &p)          — stop at the snapshot point
+  //   phase 2: RunUntilFinished(B - p.retired, 4*B - p.rounds, &q)
+  struct RunProgress {
+    uint64_t retired = 0;
+    uint64_t rounds = 0;
+  };
+  bool RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
+                        RunProgress* progress);
+  bool RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions,
+                uint64_t max_rounds, RunProgress* progress);
+
+  // -- Whole-machine snapshot and copy-on-write fork (DESIGN.md §2h). ---------------
+  // Captures the complete simulated-machine state. Non-const: RAM regions freeze
+  // into CoW images (contents are unchanged; repeated saves of an unmodified
+  // machine reuse the same images). Host-side wiring — the M-mode owner, trap
+  // observer, tuning, and every translation cache — is not part of a snapshot.
+  void SaveSnapshot(Snapshot& snapshot);
+  // Restores a snapshot taken from a machine with an identical MachineConfig
+  // fingerprint (hart count, memory map, ISA, block device). Returns false — with
+  // a warning logged — on a mismatched or corrupt snapshot; the machine must then
+  // be discarded (device state may have partially loaded). On success every
+  // translation cache is invalidated via the generation stamps and RAM rebinds to
+  // the snapshot's images without copying.
+  bool RestoreSnapshot(const Snapshot& snapshot);
+  // SaveSnapshot + a fresh Machine + RestoreSnapshot: a copy-on-write clone of this
+  // machine. The child shares RAM pages with the parent (and its snapshot) until
+  // either side writes. The child has no M-mode owner or trap observer installed.
+  std::unique_ptr<Machine> Fork();
 
   // Total cycles elapsed on hart 0's clock (the machine reference clock).
   uint64_t cycles() const { return harts_[0]->cycles(); }

@@ -30,6 +30,8 @@ struct Options {
   unsigned actions = 160;
   uint64_t budget = 100'000;
   int harts = 0;  // 0 = alternate 1/2
+  uint64_t snapshot_at = 0;  // nonzero: add the snapshot round-trip leg per program
+  bool fork_boot = false;    // obtain run machines by forking cached templates
   std::string replay;
   std::string corpus;
   std::string save_dir = ".";
@@ -39,7 +41,8 @@ struct Options {
 void Usage() {
   std::fprintf(stderr,
                "usage: cosim_fuzz [--programs N] [--seed S] [--actions N] [--budget N]\n"
-               "                  [--harts 1|2] [--replay FILE] [--corpus DIR]\n"
+               "                  [--harts 1|2] [--snapshot-at N] [--fork-boot]\n"
+               "                  [--replay FILE] [--corpus DIR]\n"
                "                  [--save-dir DIR] [--no-shrink]\n");
 }
 
@@ -110,6 +113,12 @@ bool ReplayFile(const std::string& path, const Options& opts) {
       std::printf("  %s: %" PRIu64 " promotions, %" PRIu64 " threaded deopts\n",
                   config.name, out.threaded_promotions, out.threaded_deopts);
     }
+    if (program.value().opts.snapshot_at != 0) {
+      std::printf("  snapshot leg: split at %" PRIu64
+                  " retired instructions matched the uninterrupted run on all %zu "
+                  "configurations\n",
+                  program.value().opts.snapshot_at, vfm::LockstepConfigs().size());
+    }
     return true;
   }
   return false;
@@ -138,6 +147,10 @@ int main(int argc, char** argv) {
       opts.budget = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--harts") {
       opts.harts = std::atoi(next());
+    } else if (arg == "--snapshot-at") {
+      opts.snapshot_at = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--fork-boot") {
+      opts.fork_boot = true;
     } else if (arg == "--replay") {
       opts.replay = next();
     } else if (arg == "--corpus") {
@@ -154,6 +167,11 @@ int main(int argc, char** argv) {
 
   // Budget-exhausted runs are expected (and compared); silence the per-run warning.
   vfm::SetLogLevel(vfm::LogLevel::kError);
+
+  // Fork-from-boot-snapshot mode: run machines are CoW forks of cached pristine
+  // templates, so soaks skip the per-run construction prefix and every program
+  // exercises Machine::Fork.
+  vfm::SetForkPoolEnabled(opts.fork_boot);
 
   if (!opts.replay.empty()) {
     return ReplayFile(opts.replay, opts) ? 0 : 1;
@@ -186,6 +204,7 @@ int main(int argc, char** argv) {
     gen.budget = opts.budget;
     // Every third program runs two harts (WFI/IPI echo on hart 1) unless pinned.
     gen.harts = opts.harts != 0 ? static_cast<unsigned>(opts.harts) : (i % 3 == 2 ? 2 : 1);
+    gen.snapshot_at = opts.snapshot_at;
     const vfm::CosimProgram program = vfm::GenerateProgram(opts.seed + i, gen);
     ++checked;
     if (!CheckAndReport(program, opts, "fuzz")) {
