@@ -92,6 +92,44 @@ void BM_WorldSwitchPath(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldSwitchPath)->Unit(benchmark::kMicrosecond);
 
+// Boots an N-hart native system whose harts all run an endless compute loop under
+// the given multi-hart scheduling mode, and returns aggregate wall-clock MIPS.
+// Timeshared (no tuning) is the per-instruction round-robin loop; quantum is the
+// deterministic quantum schedule run serially; parallel is the same schedule with
+// one host thread per hart (DESIGN.md §2i).
+double MeasureMultiHartMips(unsigned harts, bool quantum, bool parallel) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, harts, false);
+  profile.machine.tuning.quantum_harts = quantum;
+  profile.machine.tuning.parallel_harts = parallel;
+  // Rendezvous cost amortizes over the segment length; with no timers armed the
+  // quantum horizon is the batch cap, so give multi-hart throughput runs segments
+  // long enough that the barrier is noise (timeshared ignores the knob entirely).
+  profile.machine.tuning.max_batch_instructions = 65536;
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  config.hart_count = harts;
+  KernelBuilder kb(config);
+  kb.EmitStartSecondaries();
+  kb.EmitComputeLoop(1'000'000'000, 16);  // effectively endless
+  kb.EmitFinish(true);
+  kb.DefineSecondaryMain();
+  kb.EmitComputeLoop(1'000'000'000, 16);
+  kb.EmitSecondaryPark();
+  System system = BootSystem(profile, DeployMode::kNative, kb.Finish());
+  // Boot, bring every secondary online, and settle into the loops.
+  system.machine->RunUntilFinished(2'000'000);
+  // The timeshared loop steps per instruction and is ~an order of magnitude slower;
+  // give it a smaller measured budget so the bench stays quick.
+  const uint64_t measured = (quantum || parallel) ? 200'000'000 : 40'000'000;
+  const uint64_t start = system.machine->total_instret();
+  const auto t0 = std::chrono::steady_clock::now();
+  system.machine->RunUntilFinished(measured);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const uint64_t instructions = system.machine->total_instret() - start;
+  return seconds > 0 ? static_cast<double>(instructions) / seconds / 1e6 : 0.0;
+}
+
 // Dedicated timed run for the machine-readable result file: boots the same native
 // compute loop as BM_InterpreterThroughput and measures wall-clock throughput plus
 // the decoded-instruction cache hit rate over a fixed instruction count.
@@ -142,6 +180,44 @@ void WriteSimSpeedJson() {
   const uint64_t th_blocks = hart.threaded_blocks() - start_th_blocks;
   const uint64_t th_instrs = hart.threaded_instrs() - start_th_instrs;
 
+  // Memory-traffic phase: the compute loop above is pure ALU and never issues a
+  // load or store, so its host-fastpath counters are 0/0 and the reported rate was
+  // a meaningless 0.0. Measure the fast path on a workload that actually has
+  // memory traffic.
+  PlatformProfile mem_profile = MakePlatform(PlatformKind::kVf2Sim, 1, false);
+  KernelConfig mem_config;
+  mem_config.base = mem_profile.kernel_base;
+  mem_config.enable_paging = true;  // the host fast path rides the TLB: Sv39 on
+  KernelBuilder mem_kb(mem_config);
+  mem_kb.EmitMemoryLoop(1'000'000'000);  // effectively endless
+  mem_kb.EmitFinish(true);
+  System mem_system = BootSystem(mem_profile, DeployMode::kNative, mem_kb.Finish());
+  mem_system.machine->RunUntilFinished(20'000);  // skip boot: steady-state only
+  const Hart& mem_hart = mem_system.machine->hart(0);
+  const uint64_t mem_start_instret = mem_system.machine->total_instret();
+  const uint64_t mem_start_fp_hits = mem_hart.host_fastpath_hits();
+  const uint64_t mem_start_fp_misses = mem_hart.host_fastpath_misses();
+  constexpr uint64_t kMemMeasured = 100'000'000;
+  const auto m0 = std::chrono::steady_clock::now();
+  mem_system.machine->RunUntilFinished(kMemMeasured);
+  const auto m1 = std::chrono::steady_clock::now();
+  const double mem_seconds = std::chrono::duration<double>(m1 - m0).count();
+  const uint64_t mem_instructions = mem_system.machine->total_instret() - mem_start_instret;
+  const uint64_t fp_hits_mem = mem_hart.host_fastpath_hits() - mem_start_fp_hits;
+  const uint64_t fp_ops_mem =
+      fp_hits_mem + (mem_hart.host_fastpath_misses() - mem_start_fp_misses);
+
+  // Multi-hart throughput matrix: the deterministic quantum schedule, serial and
+  // parallel, against the per-instruction timeshared loop at 4 harts (the CI gate
+  // compares parallel against timeshared at equal hart count).
+  const double mips_timeshared_4h = MeasureMultiHartMips(4, false, false);
+  const double mips_quantum_2h = MeasureMultiHartMips(2, true, false);
+  const double mips_quantum_4h = MeasureMultiHartMips(4, true, false);
+  const double mips_quantum_8h = MeasureMultiHartMips(8, true, false);
+  const double mips_parallel_2h = MeasureMultiHartMips(2, false, true);
+  const double mips_parallel_4h = MeasureMultiHartMips(4, false, true);
+  const double mips_parallel_8h = MeasureMultiHartMips(8, false, true);
+
   JsonResultWriter json("sim_speed");
   json.Add("instructions_retired", static_cast<double>(instructions));
   json.Add("seconds", seconds);
@@ -157,8 +233,14 @@ void WriteSimSpeedJson() {
   json.Add("mean_block_length",
            sb_blocks > 0 ? static_cast<double>(sb_instrs) / static_cast<double>(sb_blocks)
                          : 0.0);
+  // From the memory-traffic phase (the compute loop has no memory operations; its
+  // own counters are still emitted as compute_fastpath_ops for reference).
   json.Add("host_fastpath_hit_rate",
-           fp_ops > 0 ? static_cast<double>(fp_hits) / static_cast<double>(fp_ops) : 0.0);
+           fp_ops_mem > 0 ? static_cast<double>(fp_hits_mem) / static_cast<double>(fp_ops_mem)
+                          : 0.0);
+  json.Add("memory_mips",
+           mem_seconds > 0 ? static_cast<double>(mem_instructions) / mem_seconds / 1e6 : 0.0);
+  json.Add("compute_fastpath_ops", static_cast<double>(fp_ops));
   json.Add("threaded_hit_rate",
            instructions > 0 ? static_cast<double>(th_instrs) / static_cast<double>(instructions)
                             : 0.0);
@@ -167,6 +249,16 @@ void WriteSimSpeedJson() {
   json.Add("mean_lowered_block_length",
            th_blocks > 0 ? static_cast<double>(th_instrs) / static_cast<double>(th_blocks)
                          : 0.0);
+  json.Add("mips_timeshared_4h", mips_timeshared_4h);
+  json.Add("mips_quantum_2h", mips_quantum_2h);
+  json.Add("mips_quantum_4h", mips_quantum_4h);
+  json.Add("mips_quantum_8h", mips_quantum_8h);
+  json.Add("mips_parallel_2h", mips_parallel_2h);
+  json.Add("mips_parallel_4h", mips_parallel_4h);
+  json.Add("mips_parallel_8h", mips_parallel_8h);
+  json.Add("parallel_per_hart_mips_4h", mips_parallel_4h / 4.0);
+  json.Add("parallel_speedup_4h",
+           mips_timeshared_4h > 0 ? mips_parallel_4h / mips_timeshared_4h : 0.0);
   const char* path = "BENCH_sim_speed.json";
   if (json.WriteTo(path)) {
     std::printf("wrote %s (%.1f MIPS)\n", path,

@@ -36,6 +36,14 @@ const std::vector<LockstepConfig>& LockstepConfigs() {
       // block runs lowered and invalidation/eviction hit promoted blocks often.
       {"threaded", 16384, 4096, true, 2048, true, 8},
       {"threaded-eager", 64, 64, true, 4, true, 1},
+      // Deterministic quantum scheduling over the full tier stack (DESIGN.md §2i).
+      // "quantum" runs the schedule serially in hart order; "parallel" runs the
+      // same schedule with one host thread per hart. On multi-hart programs the
+      // pair is compared against each other (bit-identity of the parallel engine
+      // is the property under test); single-hart programs bypass both knobs, so
+      // there they must match the baseline like any other tuning.
+      {"quantum", 16384, 4096, true, 2048, true, 8, true, false},
+      {"parallel", 16384, 4096, true, 2048, true, 8, false, true},
   };
   return kConfigs;
 }
@@ -267,6 +275,8 @@ MachineConfig CosimMachineConfig(const CosimProgram& program, const LockstepConf
   mc.tuning.superblock_entries = config.superblock_entries;
   mc.tuning.threaded_enabled = config.threaded;
   mc.tuning.threaded_promote_threshold = config.threaded_threshold;
+  mc.tuning.quantum_harts = config.quantum_harts;
+  mc.tuning.parallel_harts = config.parallel_harts;
   mc.map.ram_size = CosimLayout::kRamSize;
   return mc;
 }
@@ -481,14 +491,30 @@ CheckResult CheckProgram(const CosimProgram& program) {
   if (!baseline.ref_divergence.empty()) {
     return {false, "refmodel: " + baseline.ref_divergence};
   }
+  // Quantum-schedule configurations change the guest-visible hart interleaving on
+  // multi-hart programs (the documented SimTuning exception), so they form their own
+  // comparison group: the serial quantum run anchors it and the parallel engine must
+  // reproduce it bit for bit. On single-hart programs both knobs are bypassed and
+  // the configurations compare against the baseline like every other tuning.
+  RunOutcome quantum_anchor;
+  const char* quantum_anchor_name = nullptr;
   for (size_t i = 1; i < configs.size(); ++i) {
+    const bool own_schedule =
+        (configs[i].quantum_harts || configs[i].parallel_harts) && program.opts.harts > 1;
     const RunOutcome alt = RunProgram(program, configs[i], /*with_refmodel=*/false);
     if (!alt.build_error.empty()) {
       return {false, "build: " + alt.build_error};
     }
-    const std::string diff = CompareOutcomes(baseline, alt);
+    if (own_schedule && quantum_anchor_name == nullptr) {
+      quantum_anchor = alt;
+      quantum_anchor_name = configs[i].name;
+      continue;
+    }
+    const RunOutcome& reference = own_schedule ? quantum_anchor : baseline;
+    const char* reference_name = own_schedule ? quantum_anchor_name : configs[0].name;
+    const std::string diff = CompareOutcomes(reference, alt);
     if (!diff.empty()) {
-      return {false, std::string(configs[i].name) + " vs " + configs[0].name + ": " + diff};
+      return {false, std::string(configs[i].name) + " vs " + reference_name + ": " + diff};
     }
   }
   // The snapshot leg: every configuration's split run (save at snapshot_at retired

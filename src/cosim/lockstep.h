@@ -36,6 +36,14 @@ struct LockstepConfig {
   uint32_t superblock_entries = 0;
   bool threaded = false;             // threaded-code tier over superblocks
   uint32_t threaded_threshold = 8;   // promotion threshold (1 = promote immediately)
+  // Deterministic quantum scheduling (DESIGN.md §2i). On multi-hart programs these
+  // change the guest-visible hart interleaving — the one documented SimTuning
+  // exception — so CheckProgram compares quantum-schedule configurations against
+  // each other (serial quantum vs parallel), not against the per-round baseline.
+  // Single-hart programs ignore both knobs and compare against the baseline as
+  // usual.
+  bool quantum_harts = false;
+  bool parallel_harts = false;
 };
 
 // The decode-cache x TLB x superblock configurations every program runs under. Index

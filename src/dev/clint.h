@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/mem/bus.h"
 
 namespace vfm {
@@ -60,9 +61,22 @@ class Clint : public MmioDevice {
   bool msip(unsigned hart) const { return msip_[hart]; }
   void set_msip(unsigned hart, bool value) { msip_[hart] = value; }
 
-  // Interrupt lines the machine samples into each hart's mip.
-  bool MtipPending(unsigned hart) const { return mtime_ >= mtimecmp_[hart]; }
-  bool MsipPending(unsigned hart) const { return msip_[hart]; }
+  // Interrupt lines the machine samples into each hart's mip. Under quantum/parallel
+  // multi-hart execution these must only be recomputed at barrier points — mid-segment
+  // sampling would observe timer/IPI state at a host-scheduling-dependent instant
+  // (DESIGN.md §2i); the gate turns that ordering bug into an immediate CHECK failure.
+  bool MtipPending(unsigned hart) const {
+    VFM_CHECK(barrier_gate_ == nullptr || !*barrier_gate_);
+    return mtime_ >= mtimecmp_[hart];
+  }
+  bool MsipPending(unsigned hart) const {
+    VFM_CHECK(barrier_gate_ == nullptr || !*barrier_gate_);
+    return msip_[hart];
+  }
+
+  // Installs the mid-segment flag the pending-line asserts above check (nullptr to
+  // remove). The Machine raises the flag while hart segments are in flight.
+  void SetBarrierGate(const bool* gate) { barrier_gate_ = gate; }
 
   unsigned hart_count() const { return static_cast<unsigned>(mtimecmp_.size()); }
 
@@ -71,6 +85,7 @@ class Clint : public MmioDevice {
   std::vector<uint64_t> mtimecmp_;
   std::vector<bool> msip_;
   std::function<uint64_t()> tick_source_;
+  const bool* barrier_gate_ = nullptr;
 };
 
 }  // namespace vfm

@@ -233,6 +233,30 @@ void KernelBuilder::EmitComputeLoop(uint64_t iters, unsigned work) {
   a.Bnez(s2, label);
 }
 
+void KernelBuilder::EmitMemoryLoop(uint64_t iters) {
+  membuf_used_ = true;
+  Assembler& a = asm_;
+  const std::string label = "k_memory_" + std::to_string(loop_counter_++);
+  // s4 = this hart's lane: k_membuf + hartid * 2048.
+  a.La(s4, "k_membuf");
+  a.Slli(t0, tp, 11);
+  a.Add(s4, s4, t0);
+  a.Li(s2, iters);
+  a.Li(s3, 0x9E3779B9);
+  a.Bind(label);
+  // One sweep: 16 read-modify-write pairs striding 128 bytes apart, folding each
+  // loaded value into a running checksum so none of the traffic is dead.
+  for (unsigned i = 0; i < 16; ++i) {
+    const int32_t offset = static_cast<int32_t>(128 * i);
+    a.Ld(t0, s4, offset);
+    a.Add(s3, s3, t0);
+    a.Addi(t0, t0, 1);
+    a.Sd(t0, s4, offset);
+  }
+  a.Addi(s2, s2, -1);
+  a.Bnez(s2, label);
+}
+
 void KernelBuilder::EmitMisalignedLoad() {
   Assembler& a = asm_;
   a.La(t0, "k_scratch");
@@ -402,6 +426,11 @@ Image KernelBuilder::Finish() {
   a.Zero(256 * config_.hart_count);
   a.Bind("k_stacks");
   a.Zero(4096 * config_.hart_count);
+  if (membuf_used_) {
+    a.Align(8);
+    a.Bind("k_membuf");
+    a.Zero(2048 * config_.hart_count);
+  }
   if (config_.enable_paging) {
     EmitPageTable();
   }

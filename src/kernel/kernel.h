@@ -67,6 +67,11 @@ class KernelBuilder {
   void EmitWaitSlotAtLeast(unsigned slot, uint64_t target);
   // A compute loop: `iters` iterations of `work` dependent ALU operations.
   void EmitComputeLoop(uint64_t iters, unsigned work);
+  // A memory-traffic loop: `iters` iterations, each a read-modify-write sweep over
+  // this hart's 2 KiB lane of the shared k_membuf buffer (so concurrent harts never
+  // overlap). Loads and stores dominate the dynamic mix, which is what exercises the
+  // host-pointer memory fast path the pure-ALU compute loop never touches.
+  void EmitMemoryLoop(uint64_t iters);
   // One misaligned 4-byte load from the scratch buffer (trap-and-emulate path).
   void EmitMisalignedLoad();
   // sbi send_ipi to the harts in `mask` (base 0).
@@ -105,6 +110,7 @@ class KernelBuilder {
   KernelConfig config_;
   Assembler asm_;
   bool secondary_defined_ = false;
+  bool membuf_used_ = false;
   unsigned print_counter_ = 0;
   unsigned loop_counter_ = 0;
   std::vector<std::pair<std::string, std::string>> deferred_strings_;

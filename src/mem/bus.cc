@@ -187,6 +187,8 @@ bool Bus::ReadSlow(uint64_t addr, unsigned size, uint64_t* value) {
     return true;
   }
   if (const MmioWindow* window = FindMmio(addr)) {
+    VFM_CHECK_MSG(mmio_gate_ == nullptr || !*mmio_gate_,
+                  "MMIO read dispatched mid-segment (must happen at a quantum barrier)");
     ++mmio_ops_;
     if (addr + size > window->base + window->size) {
       return false;
@@ -211,6 +213,8 @@ bool Bus::WriteSlow(uint64_t addr, unsigned size, uint64_t value) {
     return true;
   }
   if (const MmioWindow* window = FindMmio(addr)) {
+    VFM_CHECK_MSG(mmio_gate_ == nullptr || !*mmio_gate_,
+                  "MMIO write dispatched mid-segment (must happen at a quantum barrier)");
     ++mmio_ops_;
     if (addr + size > window->base + window->size) {
       return false;
@@ -267,13 +271,19 @@ bool Bus::HostPage(uint64_t paddr, uint8_t** data, const uint8_t** marks) const 
   return true;
 }
 
+// Mark setting uses relaxed atomic OR: during quantum-mode segments several harts
+// fill their caches (and therefore mark pages) concurrently. Marks are monotonic
+// within a segment — only ever set, never read or cleared until the next barrier —
+// so relaxed ordering is sufficient (DESIGN.md §2i).
 void Bus::MarkExecPage(uint64_t paddr) {
   const Ram* region = FindRam(paddr, 1);
   if (region == nullptr) {
     return;
   }
-  const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift] |= kExecMark;
-  any_marks_ = true;
+  uint8_t* slot =
+      &const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift];
+  __atomic_fetch_or(slot, kExecMark, __ATOMIC_RELAXED);
+  any_marks_.store(true, std::memory_order_relaxed);
 }
 
 bool Bus::MarkPtPage(uint64_t paddr) {
@@ -281,8 +291,10 @@ bool Bus::MarkPtPage(uint64_t paddr) {
   if (region == nullptr) {
     return false;
   }
-  const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift] |= kPtMark;
-  any_marks_ = true;
+  uint8_t* slot =
+      &const_cast<Ram*>(region)->page_marks()[(paddr - region->base()) >> Ram::kPageShift];
+  __atomic_fetch_or(slot, kPtMark, __ATOMIC_RELAXED);
+  any_marks_.store(true, std::memory_order_relaxed);
   return true;
 }
 

@@ -17,6 +17,7 @@
 #ifndef SRC_MEM_BUS_H_
 #define SRC_MEM_BUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -206,6 +207,14 @@ class Bus {
   // which ends a batch (src/sim/machine.cc).
   uint64_t mmio_ops() const { return mmio_ops_; }
 
+  // Barrier-ordering debug gate for quantum/parallel multi-hart execution
+  // (DESIGN.md §2i): while `gate` points at a true flag, any MMIO dispatch aborts
+  // via VFM_CHECK. The Machine raises the flag around hart segments — segments must
+  // buffer stores and abort on MMIO, so a device access reaching the bus mid-segment
+  // is an ordering bug, turned into an immediate failure instead of a cosim
+  // divergence. Pass nullptr to remove the gate.
+  void SetMmioBarrierGate(const bool* gate) { mmio_gate_ = gate; }
+
   // Returns the MMIO window covering addr, or nullptr. Used by the monitor to identify
   // which virtual device an intercepted access targets.
   struct MmioWindow {
@@ -258,8 +267,12 @@ class Bus {
   uint64_t code_generation_ = 0;
   uint64_t pt_generation_ = 0;
   uint64_t ram_generation_ = 0;
-  bool any_marks_ = false;
+  // Set by MarkExecPage/MarkPtPage, which hart segments call concurrently while
+  // filling their caches (the mark bytes themselves are set with relaxed atomic OR);
+  // consumed only at serial points.
+  std::atomic<bool> any_marks_{false};
   uint64_t mmio_ops_ = 0;
+  const bool* mmio_gate_ = nullptr;
 };
 
 }  // namespace vfm

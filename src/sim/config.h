@@ -56,6 +56,19 @@ struct SimTuning {
   // Valid dispatches of a block before it is promoted; the threshold'th dispatch runs
   // threaded (so 1 promotes every block on its first execution). Clamped to >= 1.
   uint32_t threaded_promote_threshold = 8;
+  // Deterministic quantum scheduling for multi-hart machines (DESIGN.md §2i): instead
+  // of interleaving harts one instruction at a time, each hart privately executes a
+  // segment up to the next mtime-tick boundary and cross-hart effects (stores, MMIO,
+  // traps, timer advance) are applied at the barrier in canonical hart order. This is
+  // the one documented exception to the "tuning never affects simulated behaviour"
+  // rule above: the quantum schedule is a different — still fully deterministic —
+  // legal interleaving of the harts than the round-robin schedule, so guest-visible
+  // state can differ from the per-instruction loop on multi-hart machines (it is
+  // bit-identical on single-hart machines, where both flags are ignored).
+  // `parallel_harts` runs the same quantum schedule with each hart's segment on its
+  // own host thread; it is bit-identical to `quantum_harts` by construction.
+  bool quantum_harts = false;
+  bool parallel_harts = false;
 };
 
 // Cycle-cost model. The simulator is not micro-architecturally accurate; these

@@ -1,5 +1,6 @@
 #include "src/sim/hart.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/bits.h"
@@ -208,9 +209,11 @@ Hart::AccessOutcome Hart::TranslateWith(const PmpBank& pmp, bool cacheable,
     ++tlb_misses_;
   }
 
-  const TranslateResult tr = TranslateSv39(bus_, pmp, params, vaddr, type);
+  const TranslateResult tr =
+      TranslateSv39(bus_, pmp, params, vaddr, type, segment_active_ ? &segment_pt_ : nullptr);
   if (!tr.ok) {
     out.cause = tr.fault;
+    out.segment_abort = tr.segment_abort;
     return out;
   }
   out.extra_cycles = tr.walk_levels * cost_->page_walk_level;
@@ -577,6 +580,9 @@ StepResult Hart::Tick() {
         entry.priv == static_cast<uint8_t>(priv_) && entry.virt == virt_) {
       ++icache_hits_;
       StepResult result = Execute(entry.instr);
+      if (result.aborted) {
+        return result;  // segment sync event: nothing retired, no cycles charged
+      }
       result.cycles += entry.extra_cycles;  // the original fetch's page-walk cost
       if (!result.trapped) {
         csrs_.AddInstret(1);
@@ -587,8 +593,14 @@ StepResult Hart::Tick() {
   }
 
   const AccessOutcome fetch = Translate(pc_, 4, AccessType::kFetch, priv_, virt_);
+  if (fetch.segment_abort) {
+    return AbortSegment();  // fetch walk hit a non-RAM PTE: resolve at the barrier
+  }
   if (!fetch.ok) {
     return TakeTrap(CauseValue(fetch.cause), pc_);
+  }
+  if (segment_active_ && !bus_->IsRam(fetch.paddr, 4)) {
+    return AbortSegment();  // MMIO fetch: needs full bus access at the barrier
   }
   uint64_t word = 0;
   if (!bus_->Read(fetch.paddr, 4, &word)) {
@@ -619,6 +631,9 @@ StepResult Hart::Tick() {
   }
 
   StepResult result = Execute(instr);
+  if (result.aborted) {
+    return result;  // segment sync event: nothing retired, no cycles charged
+  }
   result.cycles += fetch.extra_cycles;
   if (!result.trapped) {
     csrs_.AddInstret(1);
@@ -701,6 +716,9 @@ Hart::BatchResult Hart::RunBatch(uint64_t max_steps, uint64_t stop_cycles) {
       // which the next lookup can build the block.
     }
     batch.last = Tick();
+    if (batch.last.aborted) {
+      return batch;  // quantum sync event: the tick had no effect; barrier re-runs it
+    }
     ++batch.executed;
     if (batch.last.executed && !batch.last.trapped) {
       ++batch.retired;
@@ -1085,10 +1103,12 @@ Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, unsigned start,
         // so no per-access PMP scan is needed. A store must additionally see a clean
         // mark byte: writes to exec-/PT-marked pages go through Bus::Write so the
         // dependency generations bump exactly as the slow path would.
+        // Segment mode keeps fast loads (with a store-buffer overlay below) but
+        // forces every store to the slow path, where it is buffered (DESIGN.md §2i).
         if (slot.vpage == vaddr >> 12 && slot.satp == mem_ctx.satp &&
             slot.ctx == (is_store ? mem_ctx.store_ctx : mem_ctx.load_ctx) &&
             slot.stamp == tlb_stamp() && slot.host_page != nullptr &&
-            (!is_store || *slot.page_mark == 0)) {
+            (!is_store || (*slot.page_mark == 0 && !segment_active_))) {
           ++tlb_hits_;  // parity: the slow path's Translate would count this hit
           ++fastmem_hits_;
           const uint64_t offset = vaddr & MaskLow(12);
@@ -1103,6 +1123,9 @@ Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, unsigned start,
           } else {
             uint64_t value = 0;
             std::memcpy(&value, slot.host_page + offset, size);
+            if (segment_active_ && !sbuf_.empty()) {
+              OverlayLoad(slot.paddr_page | offset, size, &value);
+            }
             switch (d.op) {
               case Op::kLb:
                 value = SignExtend(value, 8);
@@ -1133,6 +1156,15 @@ Hart::SbRun Hart::ExecuteSuperblock(const SuperblockEntry& sb, unsigned start,
         retired = 0;
         cycles = 0;
         StepResult r = ExecuteLoadStore(d);
+        if (r.aborted) {
+          // Segment sync event: the op had no effect and is not counted; pc_ and the
+          // counters were spilled exactly above, so the barrier re-runs it via Tick.
+          run.end_batch = true;
+          run.last = r;
+          icache_hits_ += run.dispatched;
+          sb_instrs_ += run.dispatched;
+          return run;
+        }
         r.cycles += bi.extra_cycles;  // the member's replayed fetch-walk cost
         if (!r.trapped) {
           csrs_.AddInstret(1);
@@ -1528,6 +1560,9 @@ Hart::SbRun Hart::ExecuteThreaded(const SuperblockEntry* sb, const ThreadedBlock
     ++fastmem_hits_;                                                          \
     uint64_t value = 0;                                                       \
     std::memcpy(&value, slot.host_page + (va & MaskLow(12)), size_);          \
+    if (segment_active_ && !sbuf_.empty()) {                                  \
+      OverlayLoad(slot.paddr_page | (va & MaskLow(12)), size_, &value);       \
+    }                                                                         \
     if (op->a != 0) {                                                         \
       g[op->a] = extract_;                                                    \
     }                                                                         \
@@ -1546,7 +1581,8 @@ Hart::SbRun Hart::ExecuteThreaded(const SuperblockEntry* sb, const ThreadedBlock
     TlbEntry& slot = tlb_st[(va >> 12) & tlb_mask_];                          \
     if (slot.vpage != va >> 12 || slot.satp != fm.satp ||                     \
         slot.ctx != fm.store_ctx || slot.stamp != tstamp ||                   \
-        slot.host_page == nullptr || *slot.page_mark != 0) {                  \
+        slot.host_page == nullptr || *slot.page_mark != 0 ||                  \
+        segment_active_) {                                                    \
       goto slow_mem;                                                          \
     }                                                                         \
     ++tlb_hits_;                                                              \
@@ -1652,6 +1688,17 @@ slow_mem: {
   csrs_.AddCycles(cycles);
   cycles = 0;
   StepResult r = ExecuteLoadStore(bi.instr);
+  if (r.aborted) {
+    // Segment sync event: the op had no effect and is not counted; pc_ and the
+    // counters were spilled exactly above, so the barrier re-runs it via Tick.
+    run.end_batch = true;
+    run.last = r;
+    run.dispatched = dispatched;
+    icache_hits_ += dispatched;
+    sb_instrs_ += dispatched;
+    threaded_instrs_ += dispatched;
+    return run;
+  }
   r.cycles += bi.extra_cycles;  // the member's replayed fetch-walk cost
   if (!r.trapped) {
     csrs_.AddInstret(1);
@@ -1977,6 +2024,11 @@ StepResult Hart::Execute(const DecodedInstr& d) {
     case Op::kFence:
       return Retire(next, base_cost);
     case Op::kFenceI:
+      if (segment_active_) {
+        // Sync event: fence.i must observe this segment's buffered stores as code,
+        // so it re-runs at the barrier after the buffer has been applied to RAM.
+        return AbortSegment();
+      }
       ++fence_gen_;  // invalidates this hart's decoded-instruction cache
       return Retire(next, base_cost + cost_->tlb_flush / 4);
 
@@ -2047,10 +2099,18 @@ StepResult Hart::ExecuteLoadStore(const DecodedInstr& d) {
       return TakeTrap(CauseValue(ExceptionCause::kStoreAddrMisaligned), vaddr);
     }
     const AccessOutcome out = Translate(vaddr, size, AccessType::kStore, DataPriv(), DataVirt());
+    if (out.segment_abort) {
+      return AbortSegment();
+    }
     if (!out.ok) {
       return TakeTrap(CauseValue(out.cause), vaddr);
     }
-    if (!bus_->Write(out.paddr, size, gpr_[d.rs2])) {
+    if (segment_active_) {
+      if (!bus_->IsRam(out.paddr, size)) {
+        return AbortSegment();  // MMIO store: dispatch to the device at the barrier
+      }
+      SegmentBufferStore(out.paddr, size, gpr_[d.rs2]);
+    } else if (!bus_->Write(out.paddr, size, gpr_[d.rs2])) {
       return TakeTrap(CauseValue(ExceptionCause::kStoreAccessFault), vaddr);
     }
     // A store to the reserved address clears the reservation.
@@ -2064,12 +2124,21 @@ StepResult Hart::ExecuteLoadStore(const DecodedInstr& d) {
     return TakeTrap(CauseValue(ExceptionCause::kLoadAddrMisaligned), vaddr);
   }
   const AccessOutcome out = Translate(vaddr, size, AccessType::kLoad, DataPriv(), DataVirt());
+  if (out.segment_abort) {
+    return AbortSegment();
+  }
   if (!out.ok) {
     return TakeTrap(CauseValue(out.cause), vaddr);
+  }
+  if (segment_active_ && !bus_->IsRam(out.paddr, size)) {
+    return AbortSegment();  // MMIO load: read the device at the barrier
   }
   uint64_t value = 0;
   if (!bus_->Read(out.paddr, size, &value)) {
     return TakeTrap(CauseValue(ExceptionCause::kLoadAccessFault), vaddr);
+  }
+  if (segment_active_ && !sbuf_.empty()) {
+    OverlayLoad(out.paddr, size, &value);
   }
   switch (d.op) {
     case Op::kLb:
@@ -2089,6 +2158,13 @@ StepResult Hart::ExecuteLoadStore(const DecodedInstr& d) {
 }
 
 StepResult Hart::ExecuteAmo(const DecodedInstr& d) {
+  if (segment_active_) {
+    // All of LR/SC/AMO are segment sync events: an atomic against privately
+    // buffered memory could not be observed by the other harts' spinning loads
+    // until the barrier, deadlocking guest spinlocks. The barrier re-runs the
+    // instruction with full bus access (DESIGN.md §2i).
+    return AbortSegment();
+  }
   const bool is64 = d.op >= Op::kLrD;
   const unsigned size = is64 ? 8 : 4;
   const uint64_t vaddr = gpr_[d.rs1];
@@ -2309,6 +2385,112 @@ StepResult Hart::ExecuteWfi(const DecodedInstr& d) {
   }
   waiting_ = true;
   return Retire(pc_ + 4, cost_->instr_base);
+}
+
+// -- Quantum-mode segment machinery (DESIGN.md §2i). ---------------------------------
+
+StepResult Hart::AbortSegment() {
+  sync_pending_ = true;
+  StepResult result;
+  result.aborted = true;
+  return result;
+}
+
+void Hart::SegmentBufferStore(uint64_t paddr, unsigned size, uint64_t value) {
+  // Split the store over its (at most two) 8-byte granules. A granule lies entirely
+  // inside RAM whenever any of its bytes does: RAM regions are page-aligned and
+  // page-sized, so an 8-byte-aligned granule never straddles a region edge.
+  unsigned done = 0;
+  while (done < size) {
+    const uint64_t byte_addr = paddr + done;
+    const uint64_t gaddr = byte_addr & ~uint64_t{7};
+    const auto [it, fresh] = sbuf_index_.try_emplace(gaddr, static_cast<uint32_t>(sbuf_.size()));
+    if (fresh) {
+      StoreGranule granule;
+      granule.addr = gaddr;
+      // Initialize from RAM: sound because RAM is frozen for the whole segment
+      // (every hart buffers its stores; fast-path stores are disabled).
+      bus_->Read(gaddr, 8, &granule.data);
+      sbuf_.push_back(granule);
+    }
+    StoreGranule& granule = sbuf_[it->second];
+    const unsigned offset = static_cast<unsigned>(byte_addr - gaddr);
+    const unsigned count = std::min(size - done, 8 - offset);
+    for (unsigned k = 0; k < count; ++k) {
+      const uint64_t byte = (value >> (8 * (done + k))) & 0xFF;
+      granule.data =
+          (granule.data & ~(uint64_t{0xFF} << (8 * (offset + k)))) | (byte << (8 * (offset + k)));
+      granule.dirty |= static_cast<uint8_t>(1u << (offset + k));
+    }
+    done += count;
+  }
+}
+
+void Hart::OverlayLoad(uint64_t paddr, unsigned size, uint64_t* value) const {
+  unsigned done = 0;
+  while (done < size) {
+    const uint64_t byte_addr = paddr + done;
+    const uint64_t gaddr = byte_addr & ~uint64_t{7};
+    const unsigned offset = static_cast<unsigned>(byte_addr - gaddr);
+    const unsigned count = std::min(size - done, 8 - offset);
+    const auto it = sbuf_index_.find(gaddr);
+    if (it != sbuf_index_.end()) {
+      const StoreGranule& granule = sbuf_[it->second];
+      for (unsigned k = 0; k < count; ++k) {
+        if ((granule.dirty & (1u << (offset + k))) != 0) {
+          const uint64_t byte = (granule.data >> (8 * (offset + k))) & 0xFF;
+          *value =
+              (*value & ~(uint64_t{0xFF} << (8 * (done + k)))) | (byte << (8 * (done + k)));
+        }
+      }
+    }
+    done += count;
+  }
+}
+
+void Hart::ApplySegmentStores() {
+  for (const StoreGranule& granule : sbuf_) {
+    if (granule.dirty == 0xFF) {
+      bus_->Write(granule.addr, 8, granule.data);
+      continue;
+    }
+    // Flush each contiguous dirty run as one write (Bus::Write takes any size <= 8
+    // on RAM), so mark checks and generation bumps fire exactly as serial stores.
+    unsigned i = 0;
+    while (i < 8) {
+      if ((granule.dirty & (1u << i)) == 0) {
+        ++i;
+        continue;
+      }
+      unsigned j = i;
+      while (j < 8 && (granule.dirty & (1u << j)) != 0) {
+        ++j;
+      }
+      bus_->Write(granule.addr + i, j - i, granule.data >> (8 * i));
+      i = j;
+    }
+  }
+  sbuf_.clear();
+  sbuf_index_.clear();
+}
+
+bool Hart::SegmentPt::ReadPte(uint64_t pte_addr, uint64_t* pte) {
+  if (!hart_->bus_->IsRam(pte_addr, 8)) {
+    return false;  // a PTE outside RAM cannot be overlaid: abort to the barrier
+  }
+  hart_->bus_->Read(pte_addr, 8, pte);
+  if (!hart_->sbuf_.empty()) {
+    hart_->OverlayLoad(pte_addr, 8, pte);
+  }
+  return true;
+}
+
+bool Hart::SegmentPt::WritePte(uint64_t pte_addr, uint64_t pte) {
+  if (!hart_->bus_->IsRam(pte_addr, 8)) {
+    return false;
+  }
+  hart_->SegmentBufferStore(pte_addr, 8, pte);
+  return true;
 }
 
 void Hart::SaveState(StateWriter& writer) const {

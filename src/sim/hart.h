@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/isa/instr.h"
@@ -28,6 +29,11 @@ struct StepResult {
   PrivMode trap_target = PrivMode::kMachine;  // where the trap vectored
   bool entered_mmode = false;  // trap landed in M-mode: invoke the owner if installed
   uint64_t cycles = 0;         // cycles charged for this tick
+  // Quantum-mode segments only (DESIGN.md §2i): the tick hit a sync event (MMIO,
+  // AMO/LR/SC, fence.i) it cannot model privately and aborted with zero architectural
+  // effect. The hart is parked sync-pending; the Machine re-runs the tick at the
+  // barrier, where full bus access is restored.
+  bool aborted = false;
 };
 
 class Hart {
@@ -74,6 +80,28 @@ class Hart {
     StepResult last;        // result of the final tick
   };
   BatchResult RunBatch(uint64_t max_steps, uint64_t stop_cycles);
+
+  // -- Quantum-mode segment execution (DESIGN.md §2i). ------------------------------
+  // Between BeginSegment and EndSegment the hart executes privately: RAM is
+  // read-only to it (every store — including the walker's A/D PTE updates — diverts
+  // into a per-hart store buffer that overlays the hart's own loads), and any access
+  // the buffer cannot model (MMIO data or fetch, AMO/LR/SC, fence.i) aborts its tick
+  // pre-execution with StepResult::aborted, leaving the hart sync-pending. The
+  // Machine runs segments of several harts concurrently (or serially, identically),
+  // then applies buffered stores and replays sync-pending ticks at the barrier in
+  // canonical hart order.
+  void BeginSegment() { segment_active_ = true; }
+  void EndSegment() { segment_active_ = false; }
+  // Barrier: flushes the segment's buffered stores through Bus::Write in insertion
+  // order, so dependency-mark and generation bumps happen exactly as the serial
+  // stores would have caused them.
+  void ApplySegmentStores();
+  // Returns whether the last segment ended on a sync event, clearing the flag.
+  bool ConsumeSyncPending() {
+    const bool pending = sync_pending_;
+    sync_pending_ = false;
+    return pending;
+  }
 
   // Takes a trap architecturally (updates status stacks, vectors the pc). Exposed for
   // the machine (interrupt injection) and tests.
@@ -180,6 +208,9 @@ class Hart {
     // PTE addresses the translation read (for exec-page marking on fetches).
     uint64_t pte_addrs[3] = {};
     unsigned pte_count = 0;
+    // The walk hit memory the segment store buffer cannot model (non-RAM PTE):
+    // abort the tick to the barrier instead of faulting (DESIGN.md §2i).
+    bool segment_abort = false;
   };
 
   // One slot of the decoded-instruction cache: a pre-decoded instruction plus
@@ -389,6 +420,37 @@ class Hart {
   // and RunBatch() pay one predictable branch to trigger this.
   void EnsureCaches();
 
+  // -- Quantum-mode segment internals (DESIGN.md §2i). ------------------------------
+  // Segment store buffer: 8-byte granules keyed by aligned physical address,
+  // insertion-ordered for the barrier flush. Granule data is initialized from RAM at
+  // insert — sound because RAM is frozen for the whole segment (every hart buffers
+  // its stores and fast-path stores are disabled).
+  struct StoreGranule {
+    uint64_t addr = 0;  // 8-byte-aligned physical address, fully inside RAM
+    uint64_t data = 0;  // granule bytes, little-endian
+    uint8_t dirty = 0;  // per-byte dirty mask (bit k = byte addr+k was stored)
+  };
+  // Routes the Sv39 walker's PTE accesses through the store buffer while a segment
+  // is active: reads overlay buffered bytes, A/D updates buffer instead of writing,
+  // and non-RAM PTE addresses decline (=> segment abort).
+  class SegmentPt : public PtAccessor {
+   public:
+    explicit SegmentPt(Hart* hart) : hart_(hart) {}
+    bool ReadPte(uint64_t pte_addr, uint64_t* pte) override;
+    bool WritePte(uint64_t pte_addr, uint64_t pte) override;
+
+   private:
+    Hart* hart_;
+  };
+  // Parks the hart sync-pending and returns the aborted StepResult (no architectural
+  // effect has happened; pc/counters are untouched).
+  StepResult AbortSegment();
+  // Buffers a store of `size` (1..8) bytes at `paddr` (must be fully inside RAM).
+  void SegmentBufferStore(uint64_t paddr, unsigned size, uint64_t value);
+  // Replaces bytes of *value (a zero-extended raw load of `size` bytes from `paddr`)
+  // that the store buffer holds dirty. Callers apply this before sign extension.
+  void OverlayLoad(uint64_t paddr, unsigned size, uint64_t* value) const;
+
   unsigned index_;
   Bus* bus_;
   const CostModel* cost_;
@@ -447,6 +509,15 @@ class Hart {
   uint64_t threaded_instrs_ = 0;
   uint64_t threaded_promotions_ = 0;
   uint64_t threaded_deopts_ = 0;
+
+  // Quantum-mode segment state (always quiescent outside a RunQuantum barrier
+  // interval: segment inactive, nothing pending, buffer empty — so none of this is
+  // part of SaveState).
+  bool segment_active_ = false;
+  bool sync_pending_ = false;
+  std::vector<StoreGranule> sbuf_;
+  std::unordered_map<uint64_t, uint32_t> sbuf_index_;  // granule addr -> sbuf_ index
+  SegmentPt segment_pt_{this};
 };
 
 }  // namespace vfm

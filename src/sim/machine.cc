@@ -87,6 +87,19 @@ void ValidateMemoryMap(const MachineConfig& config) {
   }
 }
 
+// Converts the quantum-boundary cycle delta (measured on hart 0's clock) into an
+// absolute stop bound on `hart`'s own clock, saturating on overflow. The delta form
+// matters: hart clocks drift apart (traps charge different costs), so an absolute
+// hart-0 cycle target could pin a drifted hart to one-instruction segments forever.
+uint64_t SegmentStopCycles(const Hart& hart, uint64_t stop_delta) {
+  if (stop_delta == ~uint64_t{0}) {
+    return ~uint64_t{0};
+  }
+  const uint64_t now = hart.cycles();
+  const uint64_t stop = now + stop_delta;
+  return stop >= now ? stop : ~uint64_t{0};
+}
+
 }  // namespace
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
@@ -130,6 +143,60 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
     Hart* hart0 = harts_[0].get();
     const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
     clint_->set_tick_source([hart0, tick_cycles] { return hart0->cycles() / tick_cycles; });
+  }
+}
+
+Machine::~Machine() {
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(pool_->mutex);
+      pool_->shutdown = true;
+    }
+    pool_->work_cv.notify_all();
+    for (std::thread& thread : pool_->threads) {
+      thread.join();
+    }
+  }
+}
+
+void Machine::EnsurePool() {
+  if (pool_ != nullptr) {
+    return;
+  }
+  pool_ = std::make_unique<WorkerPool>();
+  pool_->results.resize(hart_count());
+  pool_->stops.resize(hart_count());
+  for (unsigned i = 1; i < hart_count(); ++i) {
+    pool_->threads.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+void Machine::WorkerMain(unsigned hart_index) {
+  WorkerPool& pool = *pool_;
+  uint64_t seen_epoch = 0;
+  while (true) {
+    uint64_t batch = 0;
+    uint64_t stop = 0;
+    {
+      std::unique_lock<std::mutex> lock(pool.mutex);
+      pool.work_cv.wait(lock, [&] { return pool.shutdown || pool.epoch != seen_epoch; });
+      if (pool.shutdown) {
+        return;
+      }
+      seen_epoch = pool.epoch;
+      batch = pool.batch;
+      stop = pool.stops[hart_index];
+    }
+    // The segment itself: this hart's private execution. Everything it shares with
+    // other segments is read-only for the duration (RAM, devices, mtime), except the
+    // bus's dependency page marks, which are monotonic relaxed-atomic set-bits.
+    Hart& hart = *harts_[hart_index];
+    pool.results[hart_index] = hart.RunBatch(batch, stop);
+    {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      ++pool.done;
+    }
+    pool.done_cv.notify_one();
   }
 }
 
@@ -260,9 +327,15 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
 
 bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
                                RunProgress* progress) {
-  // Multi-hart machines interleave per-instruction (harts observe each other's
-  // stores and IPIs round by round); batching is a single-hart optimization.
+  // Multi-hart machines default to per-instruction rounds (harts observe each
+  // other's stores and IPIs round by round). The quantum tunings switch them to the
+  // deterministic quantum schedule (DESIGN.md §2i), where each hart runs privately
+  // batched segments between mtime-tick barriers — the multi-hart counterpart of
+  // the single-hart batching below.
   if (hart_count() != 1) {
+    if (config_.tuning.quantum_harts || config_.tuning.parallel_harts) {
+      return RunQuantumLoop(max_instructions, max_rounds, progress);
+    }
     return RunUntil([] { return false; }, max_instructions, max_rounds, progress);
   }
   bus_.SetRamMaybeDirty();  // see StepAll
@@ -350,6 +423,226 @@ bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
                    static_cast<unsigned long long>(max_instructions),
                    hart.waiting() ? "all harts idle" : "harts still running");
+      return false;
+    }
+  }
+  report();
+  return true;
+}
+
+bool Machine::RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds,
+                             RunProgress* progress) {
+  const bool parallel = config_.tuning.parallel_harts;
+  if (parallel) {
+    EnsurePool();
+  }
+  // Arm the barrier-ordering asserts (Clint pending lines, Bus MMIO dispatch) for
+  // the duration of the loop: any such access while segments are in flight is a
+  // scheduling bug, not a tolerable reordering.
+  bus_.SetMmioBarrierGate(&segment_in_flight_);
+  clint_->SetBarrierGate(&segment_in_flight_);
+  struct GateCleanup {
+    Machine* machine;
+    ~GateCleanup() {
+      machine->bus_.SetMmioBarrierGate(nullptr);
+      machine->clint_->SetBarrierGate(nullptr);
+    }
+  } cleanup{this};
+
+  const uint64_t max_batch =
+      config_.tuning.max_batch_instructions > 0 ? config_.tuning.max_batch_instructions : 1;
+  const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
+  const uint64_t round_cap = max_rounds;
+  uint64_t retired = 0;
+  uint64_t rounds = 0;
+  const auto report = [&] {
+    if (progress != nullptr) {
+      progress->retired = retired;
+      progress->rounds = rounds;
+    }
+  };
+  const auto handle_trap = [&](Hart& hart, const StepResult& result) {
+    if (result.trapped) {
+      if (trap_observer_) {
+        trap_observer_(hart, result);
+      }
+      if (result.entered_mmode && owner_ != nullptr) {
+        owner_->OnMachineTrap(hart);
+      }
+    }
+  };
+  std::vector<Hart::BatchResult> serial_results;
+  std::vector<uint64_t> serial_stops;
+  if (!parallel) {
+    serial_results.resize(hart_count());
+  }
+  serial_stops.resize(hart_count());
+  std::vector<Hart::BatchResult>& results = parallel ? pool_->results : serial_results;
+  std::vector<uint64_t>& stops = parallel ? pool_->stops : serial_stops;
+  std::vector<uint64_t> hart_rounds(hart_count());
+
+  while (!finisher_->finished()) {
+    bus_.SetRamMaybeDirty();  // see StepAll
+    RefreshInterruptLines();
+    // Segment size: the batch cap, deliberately NOT clamped to the remaining
+    // instruction budget. Quantum boundaries are guest-visible schedule points, so
+    // they must be a function of architectural state alone — a budget-dependent
+    // clamp would give a split run (RunProgramSplit: smaller phase-1 budget)
+    // different boundaries than the uninterrupted run. Instead the budget check
+    // below stops at the first barrier at or past the budget, identically in both
+    // legs; the overshoot is at most one segment per hart.
+    uint64_t n = max_batch > 0 ? max_batch : 1;
+    // The round clamp IS budget-consistent across a split (both legs inherit the
+    // remaining allowance, so at the same barrier they compute the same bound).
+    const uint64_t rounds_left = round_cap - rounds;
+    n = n < rounds_left ? n : rounds_left;
+    if (n == 0) {
+      n = 1;  // budget of zero: still run one quantum, like RunUntil does
+    }
+    // A busy block device may complete on any mtime tick; serialize to
+    // one-instruction segments until it goes idle (matches the single-hart loop).
+    if (blockdev_ && blockdev_->busy()) {
+      n = 1;
+    }
+    // Quantum horizon, as a cycle delta on hart 0's clock (see SegmentStopCycles
+    // for why a delta). Tick-aligned events are only sampled at barriers, so by
+    // default the quantum stops at the next mtime tick. When nothing can observe
+    // individual ticks — no host-side M-mode owner reading stored mtime, no Sstc
+    // comparators, no busy block device — the only tick-aligned events left are
+    // the MTIP edges at each hart's CLINT comparator, so the horizon runs to the
+    // earliest future edge instead (the same reasoning as the single-hart batch
+    // horizon above, taken over all harts). With every comparator in the past
+    // there is no future edge — the next one needs an mtimecmp MMIO write, which
+    // is a sync event ending the quantum — so the horizon is unbounded and the
+    // batch cap alone sizes the segments. This keeps rendezvous costs amortized
+    // over thousands of instructions instead of one ~hundred-cycle timer tick.
+    uint64_t stop_delta = ~uint64_t{0};
+    if (tick_cycles != 0) {
+      const uint64_t now0 = harts_[0]->cycles();
+      uint64_t horizon_cycles = (clint_->mtime() + 1) * tick_cycles;
+      if (owner_ == nullptr && !config_.isa.has_sstc && !(blockdev_ && blockdev_->busy())) {
+        uint64_t earliest_cmp = ~uint64_t{0};
+        for (unsigned i = 0; i < hart_count(); ++i) {
+          const uint64_t cmp = clint_->mtimecmp(i);
+          if (cmp > clint_->mtime() && cmp < earliest_cmp) {
+            earliest_cmp = cmp;
+          }
+        }
+        if (earliest_cmp == ~uint64_t{0}) {
+          horizon_cycles = ~uint64_t{0};
+        } else {
+          horizon_cycles = earliest_cmp > ~uint64_t{0} / tick_cycles
+                               ? ~uint64_t{0}
+                               : earliest_cmp * tick_cycles;
+        }
+      }
+      if (horizon_cycles != ~uint64_t{0}) {
+        stop_delta = horizon_cycles > now0 ? horizon_cycles - now0 : 1;
+      }
+    }
+    // -- Segments: private per-hart execution, serial in hart order or on the pool;
+    // bit-identical either way because segments only read frozen shared state. The
+    // absolute stop bounds are fixed here, at the serial point, because the barrier
+    // continuations below need the same bound the segment ran under.
+    for (unsigned i = 0; i < hart_count(); ++i) {
+      stops[i] = SegmentStopCycles(*harts_[i], stop_delta);
+    }
+    for (auto& hart : harts_) {
+      hart->BeginSegment();
+    }
+    segment_in_flight_ = true;
+    if (parallel) {
+      WorkerPool& pool = *pool_;
+      {
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        pool.batch = n;
+        pool.done = 0;
+        ++pool.epoch;
+      }
+      pool.work_cv.notify_all();
+      results[0] = harts_[0]->RunBatch(n, stops[0]);
+      std::unique_lock<std::mutex> lock(pool.mutex);
+      pool.done_cv.wait(lock, [&] { return pool.done == hart_count() - 1; });
+    } else {
+      for (unsigned i = 0; i < hart_count(); ++i) {
+        results[i] = harts_[i]->RunBatch(n, stops[i]);
+      }
+    }
+    segment_in_flight_ = false;
+    for (auto& hart : harts_) {
+      hart->EndSegment();
+    }
+    // -- Barrier: all cross-hart effects, in canonical hart order. -----------------
+    // (a) Buffered stores flush through Bus::Write (marks and generations bump as
+    //     the serial stores would have).
+    for (auto& hart : harts_) {
+      hart->ApplySegmentStores();
+    }
+    // (b) Segment-final traps replay their observer/owner callbacks.
+    for (unsigned i = 0; i < hart_count(); ++i) {
+      handle_trap(*harts_[i], results[i].last);
+    }
+    // (c) Harts whose segment ended early — a sync-event abort (MMIO, AMO/LR/SC,
+    //     fence.i, a non-RAM page walk) or a trap — finish their quantum serially
+    //     here: every other hart is quiesced at the barrier, so their cross-hart
+    //     effects are globally ordered, and segment mode is off, so RunBatch runs
+    //     them normally (MMIO executes, stores hit RAM directly). Without this
+    //     continuation one sync event would cost its hart the rest of the quantum,
+    //     starving MMIO- and trap-heavy phases (firmware boot, SBI calls) by a
+    //     factor of the batch cap.
+    uint64_t quantum_rounds = 0;
+    for (unsigned i = 0; i < hart_count(); ++i) {
+      Hart& hart = *harts_[i];
+      uint64_t hr = results[i].executed;
+      retired += results[i].retired;
+      if (hart.ConsumeSyncPending() || results[i].last.trapped) {
+        while (hr < n && hart.cycles() < stops[i] && !hart.waiting() &&
+               !finisher_->finished()) {
+          const Hart::BatchResult cont = hart.RunBatch(n - hr, stops[i]);
+          hr += cont.executed;
+          retired += cont.retired;
+          handle_trap(hart, cont.last);
+        }
+      }
+      hart_rounds[i] = hr;
+      quantum_rounds = hr > quantum_rounds ? hr : quantum_rounds;
+    }
+    // Idle parity: in the per-round schedule a parked hart charges one cycle per
+    // round, so harts that parked partway through this quantum are charged the
+    // rounds they idled through. This keeps hart clocks — and mtime, which follows
+    // hart 0 — advancing while some harts park, so timers held by a parked hart
+    // still fire while its siblings compute.
+    for (unsigned i = 0; i < hart_count(); ++i) {
+      if (harts_[i]->waiting() && hart_rounds[i] < quantum_rounds) {
+        harts_[i]->csrs().AddCycles(quantum_rounds - hart_rounds[i]);
+      }
+    }
+    // A quantum advances wall-clock by its longest hart segment; count rounds so
+    // the 4x round bound keeps its per-instruction meaning for the busiest hart.
+    rounds += quantum_rounds;
+    // (d) Timebase and device ticks, from hart 0's clock, exactly as StepAll does.
+    if (tick_cycles != 0) {
+      const uint64_t ticks_due = harts_[0]->cycles() / tick_cycles;
+      if (ticks_due > clint_->mtime()) {
+        clint_->set_mtime(ticks_due);
+      }
+    }
+    if (blockdev_) {
+      blockdev_->Tick(clint_->mtime());
+    }
+    // (e) Idle fast-forward when the whole machine parked (see FastForwardIdle).
+    bool all_waiting = true;
+    for (const auto& hart : harts_) {
+      all_waiting = all_waiting && hart->waiting();
+    }
+    if (all_waiting && rounds < round_cap) {
+      rounds += FastForwardIdle(round_cap - rounds);
+    }
+    if (retired >= max_instructions || rounds >= round_cap) {
+      report();
+      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                   static_cast<unsigned long long>(max_instructions),
+                   all_waiting ? "all harts idle" : "harts still running");
       return false;
     }
   }

@@ -6,9 +6,12 @@
 #ifndef SRC_SIM_MACHINE_H_
 #define SRC_SIM_MACHINE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/dev/blockdev.h"
@@ -98,6 +101,7 @@ struct Snapshot {
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
+  ~Machine();  // parks and joins the parallel-hart worker pool, if one was created
 
   const MachineConfig& config() const { return config_; }
   Bus& bus() { return bus_; }
@@ -128,7 +132,12 @@ class Machine {
   // Returns true if the machine finished (as opposed to hitting the budget).
   // Single-hart machines run batched (Hart::RunBatch): device/timer bookkeeping runs
   // only at batch boundaries, which RunBatch's stop conditions make behaviour- and
-  // cycle-identical to per-instruction StepAll rounds.
+  // cycle-identical to per-instruction StepAll rounds. Multi-hart machines with
+  // tuning.quantum_harts or tuning.parallel_harts set run the deterministic quantum
+  // schedule instead (DESIGN.md §2i): each hart privately executes a segment up to
+  // the next mtime-tick boundary — serially in hart order, or concurrently on the
+  // worker pool, bit-identically — and all cross-hart effects apply at the barrier
+  // in canonical hart order.
   bool RunUntilFinished(uint64_t max_instructions);
 
   // Runs until `predicate` returns true, the finisher fires, or the budget runs out.
@@ -186,6 +195,40 @@ class Machine {
  private:
   void RefreshInterruptLines();
 
+  // The quantum run loop (DESIGN.md §2i), dispatched from RunUntilFinished for
+  // multi-hart machines when tuning.quantum_harts or tuning.parallel_harts is set.
+  // Per quantum: interrupt lines refresh, every hart privately executes a segment
+  // bounded by the batch cap and the next mtime-tick boundary (on its own clock),
+  // then the barrier applies cross-hart effects in canonical hart order — buffered
+  // stores, trap observer/owner callbacks, sync-pending tick replays, the mtime
+  // advance from hart 0's clock, and the block-device tick. parallel_harts runs the
+  // segments on the worker pool; the result is bit-identical to the serial order
+  // because segments only read frozen shared state (the barrier code is literally
+  // the same). SaveSnapshot/Fork need no special quiesce: workers only run inside
+  // the segment window of this loop, so any caller-visible moment is a barrier.
+  bool RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds, RunProgress* progress);
+
+  // Parallel-hart worker pool, created lazily on the first parallel quantum. One
+  // worker per hart 1..n-1 (the calling thread runs hart 0's segment). Epoch
+  // protocol: the coordinator publishes the per-quantum work under the mutex and
+  // bumps `epoch`; workers run their hart's segment and count into `done`. The
+  // mutex/condvar handoff establishes happens-before for everything a segment
+  // reads and writes.
+  struct WorkerPool {
+    std::mutex mutex;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    uint64_t epoch = 0;
+    unsigned done = 0;
+    uint64_t batch = 0;  // segment instruction cap this quantum
+    bool shutdown = false;
+    std::vector<uint64_t> stops;  // per-hart absolute stop cycle, indexed by hart
+    std::vector<Hart::BatchResult> results;  // indexed by hart
+    std::vector<std::thread> threads;
+  };
+  void EnsurePool();
+  void WorkerMain(unsigned hart_index);
+
   // WFI fast-forward: when every hart is parked with nothing pending, jumps all
   // clocks straight to the earliest future wake candidate (a timer comparator or the
   // block device deadline) instead of burning one round per idle cycle. Each skipped
@@ -205,6 +248,11 @@ class Machine {
   std::vector<std::unique_ptr<Hart>> harts_;
   MmodeOwner* owner_ = nullptr;
   TrapObserver trap_observer_;
+  std::unique_ptr<WorkerPool> pool_;
+  // True exactly while hart segments are in flight; the Bus/Clint barrier-ordering
+  // asserts point here during the quantum loop (written only at serial points; the
+  // pool's mutex handoff publishes it to workers).
+  bool segment_in_flight_ = false;
 };
 
 }  // namespace vfm

@@ -41,7 +41,7 @@ ExceptionCause MisalignedFor(AccessType type) {
 }
 
 TranslateResult TranslateSv39(Bus* bus, const PmpBank& pmp, const TranslateParams& params,
-                              uint64_t vaddr, AccessType type) {
+                              uint64_t vaddr, AccessType type, PtAccessor* pt) {
   TranslateResult result;
   result.fault = PageFaultFor(type);
 
@@ -69,7 +69,12 @@ TranslateResult TranslateSv39(Bus* bus, const PmpBank& pmp, const TranslateParam
       return result;
     }
     uint64_t pte = 0;
-    if (!bus->Read(pte_addr, 8, &pte)) {
+    if (pt != nullptr) {
+      if (!pt->ReadPte(pte_addr, &pte)) {
+        result.segment_abort = true;
+        return result;
+      }
+    } else if (!bus->Read(pte_addr, 8, &pte)) {
       result.fault = AccessFaultFor(type);
       return result;
     }
@@ -132,7 +137,14 @@ TranslateResult TranslateSv39(Bus* bus, const PmpBank& pmp, const TranslateParam
         result.fault = AccessFaultFor(type);
         return result;
       }
-      bus->Write(pte_addr, 8, updated);
+      if (pt != nullptr) {
+        if (!pt->WritePte(pte_addr, updated)) {
+          result.segment_abort = true;
+          return result;
+        }
+      } else {
+        bus->Write(pte_addr, 8, updated);
+      }
     }
 
     const uint64_t page_offset = vaddr & MaskLow(12 + 9 * level);

@@ -38,6 +38,11 @@ struct TranslateResult {
   uint64_t paddr = 0;
   ExceptionCause fault = ExceptionCause::kLoadPageFault;  // valid when !ok
   unsigned walk_levels = 0;                               // cost accounting
+  // Set (with ok == false) when a PtAccessor declined a page-table access: the walk
+  // hit memory the accessor cannot model (quantum-mode segments decline non-RAM PTE
+  // addresses). Not an architectural fault — the caller must re-run the access at a
+  // point where the accessor can serve it (DESIGN.md §2i).
+  bool segment_abort = false;
   // Physical addresses of the PTEs read during the walk. The decoded-instruction
   // cache exec-marks these pages so that a later store into a page table invalidates
   // any decode whose fetch translation it produced, and the software TLB PT-marks
@@ -46,12 +51,25 @@ struct TranslateResult {
   unsigned pte_count = 0;
 };
 
+// Routes the walker's page-table memory accesses. When installed, every PTE read and
+// A/D update goes through the accessor instead of straight to the bus; returning
+// false aborts the walk with TranslateResult::segment_abort. Quantum-mode hart
+// segments use this to overlay their private store buffer on PTE reads and to buffer
+// A/D updates until the barrier (DESIGN.md §2i).
+class PtAccessor {
+ public:
+  virtual ~PtAccessor() = default;
+  virtual bool ReadPte(uint64_t pte_addr, uint64_t* pte) = 0;
+  virtual bool WritePte(uint64_t pte_addr, uint64_t pte) = 0;
+};
+
 // Translates `vaddr` for an access of type `type`. Returns a page fault (of the
 // matching flavor) on any walk failure, non-canonical address, or permission
 // violation. Updates A/D bits in memory (hardware-update behavior). PMP failures
-// during the walk surface as access faults via `fault`.
+// during the walk surface as access faults via `fault`. When `pt` is non-null,
+// page-table memory accesses are routed through it (see PtAccessor).
 TranslateResult TranslateSv39(Bus* bus, const PmpBank& pmp, const TranslateParams& params,
-                              uint64_t vaddr, AccessType type);
+                              uint64_t vaddr, AccessType type, PtAccessor* pt = nullptr);
 
 // Maps an access type to its page-fault cause.
 ExceptionCause PageFaultFor(AccessType type);

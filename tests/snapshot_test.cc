@@ -519,6 +519,94 @@ TEST(MonitorSnapshotTest, MonitoredBootRoundTrips) {
 }
 
 // ---------------------------------------------------------------------------------
+// Parallel-hart snapshots (DESIGN.md §2i): a machine running the quantum schedule on
+// the worker pool snapshots byte-identically to one running the same schedule
+// serially, at the same retired count. SaveSnapshot and Fork need no special
+// quiesce — workers only run inside the segment window of the quantum loop, so any
+// caller-visible moment is a barrier.
+
+std::vector<uint8_t> SnapshotRamBytes(const Snapshot& snapshot) {
+  std::vector<uint8_t> all;
+  for (const auto& image : snapshot.ram) {
+    std::vector<uint8_t> bytes(image->size());
+    image->CopyTo(bytes.data());
+    all.insert(all.end(), bytes.begin(), bytes.end());
+  }
+  return all;
+}
+
+// A 4-hart native system where hart 0 sweeps shared memory and the secondaries run
+// compute loops — enough cross-hart traffic that a schedule divergence would show
+// up in RAM, not just in the hart state.
+System BootQuantumWorkload(bool parallel) {
+  PlatformProfile profile = MakePlatform(PlatformKind::kVf2Sim, 4, false);
+  profile.machine.tuning.quantum_harts = !parallel;
+  profile.machine.tuning.parallel_harts = parallel;
+  profile.machine.tuning.max_batch_instructions = 4096;
+  KernelConfig config;
+  config.base = profile.kernel_base;
+  config.hart_count = 4;
+  KernelBuilder kb(config);
+  kb.EmitStartSecondaries();
+  kb.EmitMemoryLoop(100'000'000);  // effectively endless
+  kb.EmitFinish(/*pass=*/true);
+  kb.DefineSecondaryMain();
+  kb.EmitMemoryLoop(100'000'000);
+  kb.EmitSecondaryPark();
+  return BootSystem(profile, DeployMode::kNative, kb.Finish());
+}
+
+TEST(ParallelSnapshotTest, MidRunSnapshotMatchesQuantumSerial) {
+  System serial = BootQuantumWorkload(/*parallel=*/false);
+  System parallel = BootQuantumWorkload(/*parallel=*/true);
+
+  const uint64_t budget = 2'000'000;
+  Machine::RunProgress sp, pp;
+  serial.machine->RunUntilFinished(budget, 4 * budget, &sp);
+  parallel.machine->RunUntilFinished(budget, 4 * budget, &pp);
+  ASSERT_FALSE(serial.machine->finisher().finished());
+  ASSERT_FALSE(parallel.machine->finisher().finished());
+  ASSERT_EQ(sp.retired, pp.retired);  // identical schedule -> identical stop point
+
+  Snapshot serial_snap, parallel_snap;
+  serial.machine->SaveSnapshot(serial_snap);
+  parallel.machine->SaveSnapshot(parallel_snap);
+  EXPECT_EQ(serial_snap.state, parallel_snap.state);
+  EXPECT_EQ(SnapshotRamBytes(serial_snap), SnapshotRamBytes(parallel_snap));
+}
+
+TEST(ParallelSnapshotTest, ForkOfParallelMachineMatchesQuantumSerial) {
+  System serial = BootQuantumWorkload(/*parallel=*/false);
+  System parallel = BootQuantumWorkload(/*parallel=*/true);
+
+  const uint64_t budget = 1'500'000;
+  Machine::RunProgress sp, pp;
+  serial.machine->RunUntilFinished(budget, 4 * budget, &sp);
+  parallel.machine->RunUntilFinished(budget, 4 * budget, &pp);
+  ASSERT_EQ(sp.retired, pp.retired);
+
+  // Fork both machines mid-run; the children must hold identical state. (The
+  // children are compared to each other, not to a direct parent save, because the
+  // bus section's debug-only generation counters reset on restore — RAM and every
+  // architectural section are still covered, and the serial-vs-parallel direct
+  // saves are compared by the test above.)
+  std::unique_ptr<Machine> serial_child = serial.machine->Fork();
+  std::unique_ptr<Machine> parallel_child = parallel.machine->Fork();
+  Snapshot serial_snap, child_snap;
+  serial_child->SaveSnapshot(serial_snap);
+  parallel_child->SaveSnapshot(child_snap);
+  EXPECT_EQ(serial_snap.state, child_snap.state);
+  EXPECT_EQ(SnapshotRamBytes(serial_snap), SnapshotRamBytes(child_snap));
+
+  // The parent keeps running on the pool without disturbing the child's images.
+  parallel.machine->RunUntilFinished(200'000, 4 * 200'000, nullptr);
+  Snapshot child_again;
+  parallel_child->SaveSnapshot(child_again);
+  EXPECT_EQ(child_snap.state, child_again.state);
+  EXPECT_EQ(SnapshotRamBytes(child_snap), SnapshotRamBytes(child_again));
+}
+
+// ---------------------------------------------------------------------------------
 // MemoryMap validation (satellite: no silent aliasing).
 
 TEST(MemoryMapValidationDeathTest, OverlappingRegionsAbortWithClearError) {
