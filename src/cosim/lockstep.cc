@@ -23,6 +23,31 @@ const uint16_t kComparedCsrs[] = {
 };
 const unsigned kComparedCsrCount = sizeof(kComparedCsrs) / sizeof(kComparedCsrs[0]);
 
+const LockstepConfig* FindLockstepConfig(const std::string& name) {
+  for (const LockstepConfig& config : LockstepConfigs()) {
+    if (name == config.name) {
+      return &config;
+    }
+  }
+  return nullptr;
+}
+
+MachineConfig CosimMachineConfig(const CosimProgram& program, const LockstepConfig& config) {
+  MachineConfig mc;
+  mc.hart_count = program.opts.harts;
+  mc.isa.has_time_csr = true;  // richer CSR surface: `time` reads compare, not trap
+  mc.tuning.decode_cache_entries = config.decode_cache_entries;
+  mc.tuning.tlb_entries = config.tlb_entries;
+  mc.tuning.tlb_enabled = config.tlb_enabled;
+  mc.tuning.superblock_entries = config.superblock_entries;
+  mc.tuning.threaded_enabled = config.threaded;
+  mc.tuning.threaded_promote_threshold = config.threaded_threshold;
+  mc.tuning.quantum_harts = config.quantum_harts;
+  mc.tuning.parallel_harts = config.parallel_harts;
+  mc.map.ram_size = CosimLayout::kRamSize;
+  return mc;
+}
+
 const std::vector<LockstepConfig>& LockstepConfigs() {
   static const std::vector<LockstepConfig> kConfigs = {
       {"nocache-notlb", 0, 0, false, 0},      // baseline: every layer interpreted
@@ -265,22 +290,6 @@ HartSnapshot SnapshotHart(const Hart& hart) {
   return snap;
 }
 
-MachineConfig CosimMachineConfig(const CosimProgram& program, const LockstepConfig& config) {
-  MachineConfig mc;
-  mc.hart_count = program.opts.harts;
-  mc.isa.has_time_csr = true;  // richer CSR surface: `time` reads compare, not trap
-  mc.tuning.decode_cache_entries = config.decode_cache_entries;
-  mc.tuning.tlb_entries = config.tlb_entries;
-  mc.tuning.tlb_enabled = config.tlb_enabled;
-  mc.tuning.superblock_entries = config.superblock_entries;
-  mc.tuning.threaded_enabled = config.threaded;
-  mc.tuning.threaded_promote_threshold = config.threaded_threshold;
-  mc.tuning.quantum_harts = config.quantum_harts;
-  mc.tuning.parallel_harts = config.parallel_harts;
-  mc.map.ram_size = CosimLayout::kRamSize;
-  return mc;
-}
-
 bool g_fork_pool_enabled = false;
 
 std::map<std::string, std::unique_ptr<Machine>>& ForkPool() {
@@ -395,6 +404,77 @@ RunOutcome RunProgramSplit(const CosimProgram& program, const LockstepConfig& co
 
   CollectOutcome(*second, &out);
   return out;
+}
+
+TracedRunResult RunProgramTraced(const CosimProgram& program,
+                                 const LockstepConfig& record_config,
+                                 const LockstepConfig& replay_config,
+                                 uint64_t trace_at) {
+  TracedRunResult res;
+  const Result<Image> image = BuildCosimImage(program);
+  if (!image.ok()) {
+    res.error = image.error();
+    return res;
+  }
+
+  const uint64_t budget = program.opts.budget;
+  const uint64_t round_cap = 4 * budget;
+
+  // Phase 1 (unrecorded): run to the anchor point, as the fuzzer would have before
+  // a failure appeared.
+  const std::unique_ptr<Machine> rec = MakeCosimMachine(program, record_config);
+  rec->LoadImage(image.value().base, image.value().bytes);
+  InstallTrapObserver(*rec, &res.outcome);
+  Machine::RunProgress progress;
+  rec->RunUntilFinished(std::min(trace_at, budget), round_cap, &progress);
+
+  // Anchor: snapshot first, then start recording — the trace's anchor coordinate is
+  // the snapshot's saved progress, which is what ReplayFrom checks.
+  rec->SaveSnapshot(res.anchor);
+  if (!rec->StartRecording("", /*hash_period_rounds=*/64)) {
+    res.error = "StartRecording failed";
+    return res;
+  }
+
+  // Inputs only the trace can reproduce. The UART bytes sit in the receive FIFO
+  // (generated programs never read it) and the PLIC edge lands on a priority-0 —
+  // i.e. masked — source: both are invisible to the compared outcome but present in
+  // the hashed device state, so a replay that loses either diverges.
+  rec->InjectUartInput("rr");
+  rec->InjectPlicLine(31, true);
+
+  uint64_t spent_retired = progress.retired;
+  uint64_t spent_rounds = progress.rounds;
+  if (!rec->finisher().finished() && spent_retired < budget && spent_rounds < round_cap) {
+    // Split the remainder into two run calls with a snapshot point and more inputs
+    // between them, so the trace carries events at a mid-run coordinate too. Both
+    // budgets are halved — an idling program burns rounds, not instructions, and
+    // must still leave room for the second run.
+    Machine::RunProgress second;
+    rec->RunUntilFinished((budget - spent_retired + 1) / 2,
+                          (round_cap - spent_rounds + 1) / 2, &second);
+    spent_retired += second.retired;
+    spent_rounds += second.rounds;
+    {
+      Snapshot mid;  // the CoW freeze must replay at the identical coordinate
+      rec->SaveSnapshot(mid);
+    }
+    rec->InjectUartInput("x");
+    rec->InjectPlicLine(31, false);
+    if (!rec->finisher().finished() && spent_retired < budget &&
+        spent_rounds < round_cap) {
+      rec->RunUntilFinished(budget - spent_retired, round_cap - spent_rounds, nullptr);
+    }
+  }
+  rec->StopRecording(&res.trace);
+  CollectOutcome(*rec, &res.outcome);
+
+  // Replay on a fresh machine. The config fingerprint deliberately excludes tuning,
+  // so a cross-tuning replay is legal — that is how a schedule divergence between
+  // two tunings gets localized to its first differing coordinate.
+  const std::unique_ptr<Machine> rep = MakeCosimMachine(program, replay_config);
+  res.replay = rep->ReplayFrom(res.anchor, res.trace);
+  return res;
 }
 
 void SetForkPoolEnabled(bool enabled) {
@@ -531,6 +611,40 @@ CheckResult CheckProgram(const CosimProgram& program) {
       const std::string diff = CompareOutcomes(whole, split);
       if (!diff.empty()) {
         return {false, std::string(config.name) + " snapshot round-trip: " + diff};
+      }
+    }
+  }
+  // The record/replay leg: recording the back half of the run (with injected inputs)
+  // and replaying it from the anchor snapshot on a fresh machine of the same tuning
+  // must be divergence-free on every configuration. On multi-hart programs a
+  // cross-tuning leg records on the serial quantum schedule and replays on the
+  // parallel engine — the two are bit-identical by §2i, so the replay verifier
+  // passing here is exactly that property restated through the trace.
+  if (program.opts.trace_at != 0) {
+    for (const LockstepConfig& config : configs) {
+      const TracedRunResult traced =
+          RunProgramTraced(program, config, config, program.opts.trace_at);
+      if (!traced.error.empty()) {
+        return {false, std::string(config.name) + " trace: " + traced.error};
+      }
+      if (!traced.replay.ok) {
+        return {false, std::string(config.name) +
+                           " trace replay: " + DescribeReplay(traced.replay)};
+      }
+    }
+    if (program.opts.harts > 1) {
+      const LockstepConfig* quantum = FindLockstepConfig("quantum");
+      const LockstepConfig* parallel = FindLockstepConfig("parallel");
+      if (quantum != nullptr && parallel != nullptr) {
+        const TracedRunResult cross =
+            RunProgramTraced(program, *quantum, *parallel, program.opts.trace_at);
+        if (!cross.error.empty()) {
+          return {false, "quantum->parallel trace: " + cross.error};
+        }
+        if (!cross.replay.ok) {
+          return {false,
+                  "quantum->parallel trace replay: " + DescribeReplay(cross.replay)};
+        }
       }
     }
   }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/cosim/program.h"
+#include "src/sim/machine.h"
 
 namespace vfm {
 
@@ -50,6 +51,13 @@ struct LockstepConfig {
 // 0 is the caches-off baseline; the "tiny" entries use deliberately small caches so
 // index-aliasing eviction paths are exercised, not just hits.
 const std::vector<LockstepConfig>& LockstepConfigs();
+
+// Looks a configuration up by name ("parallel", "quantum", ...); nullptr if unknown.
+const LockstepConfig* FindLockstepConfig(const std::string& name);
+
+// The MachineConfig a lockstep run builds for (program, config) — exported so tools
+// can construct bit-identical machines for snapshot/trace repro artifacts.
+MachineConfig CosimMachineConfig(const CosimProgram& program, const LockstepConfig& config);
 
 // Architectural snapshot of one hart at end of run. Everything here must be identical
 // across tuning configurations.
@@ -116,6 +124,28 @@ RunOutcome RunProgram(const CosimProgram& program, const LockstepConfig& config,
 // through RunOutcome::build_error.
 RunOutcome RunProgramSplit(const CosimProgram& program, const LockstepConfig& config,
                            uint64_t snapshot_at);
+
+// Record/replay leg (DESIGN.md §2j): runs `program` on `record_config` with an
+// anchor snapshot saved at `trace_at` retired instructions and recording on from
+// there to the end of the run. Mid-run the recorder is fed the nondeterministic
+// inputs only a trace can reproduce — UART receive bytes, a PLIC line edge on a
+// masked source, and a snapshot point (the CoW freeze the fuzzer's snapshot leg
+// performs) — all chosen to be invisible to the generated program's outcome. The
+// trace is then replayed from the anchor on a second, freshly built machine using
+// `replay_config`; with equal configs the replay must be divergence-free, and with
+// differing quantum-schedule configs the verifier's first-divergence coordinate
+// localizes where the schedules part ways.
+struct TracedRunResult {
+  std::string error;           // setup failure (program build, restore, ...)
+  RunOutcome outcome;          // the recorded run's observable outcome
+  ReplayResult replay;         // the replay verifier's verdict
+  Snapshot anchor;             // the anchor snapshot the trace hangs off
+  std::vector<uint8_t> trace;  // the serialized event log
+};
+TracedRunResult RunProgramTraced(const CosimProgram& program,
+                                 const LockstepConfig& record_config,
+                                 const LockstepConfig& replay_config,
+                                 uint64_t trace_at);
 
 // Fork-from-boot-snapshot mode (DESIGN.md §2h): when enabled, every Machine the
 // lockstep runners need is obtained by Fork()ing a cached pristine per-configuration

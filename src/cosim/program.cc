@@ -905,6 +905,9 @@ std::string SaveSeedFile(const CosimProgram& p) {
   if (p.opts.snapshot_at != 0) {
     out << "snapshot " << p.opts.snapshot_at << "\n";
   }
+  if (p.opts.trace_at != 0) {
+    out << "trace " << p.opts.trace_at << "\n";
+  }
   if (p.keep.size() == p.actions.size()) {
     out << "keep all\n";
   } else {
@@ -947,6 +950,8 @@ Result<CosimProgram> ParseSeedFile(const std::string& text) {
       ls >> opts.trap_limit;
     } else if (key == "snapshot") {
       ls >> opts.snapshot_at;
+    } else if (key == "trace") {
+      ls >> opts.trace_at;
     } else if (key == "keep") {
       std::string first;
       ls >> first;

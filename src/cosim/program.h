@@ -89,6 +89,12 @@ struct GenOptions {
   // split at this many retired instructions (save -> restore into a fresh Machine ->
   // finish there) and must reproduce the uninterrupted outcome bit for bit.
   uint64_t snapshot_at = 0;
+  // When nonzero, CheckProgram adds a record/replay leg per configuration: an anchor
+  // snapshot is saved at this many retired instructions, the rest of the run is
+  // recorded (with outcome-invisible UART/PLIC inputs and a mid-run snapshot point
+  // injected), and the trace must replay divergence-free from the anchor on a fresh
+  // machine (DESIGN.md §2j).
+  uint64_t trace_at = 0;
 };
 
 struct CosimProgram {

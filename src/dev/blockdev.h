@@ -62,6 +62,7 @@ class BlockDev : public MmioDevice {
   // busy(). The machine's idle fast-forward uses it as a wake-up candidate.
   uint64_t deadline() const { return deadline_; }
   uint64_t completed_commands() const { return completed_commands_; }
+  uint64_t status() const { return status_; }
 
  private:
   void StartCommand(uint64_t cmd, uint64_t now_ticks);

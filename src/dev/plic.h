@@ -40,6 +40,9 @@ class Plic : public MmioDevice {
   // True if the supervisor context of `hart` has a claimable interrupt (drives SEIP).
   bool SeipPending(unsigned hart) const;
 
+  // Raw pending bitmap (bit N = source N), for state hashing.
+  uint32_t pending() const { return pending_; }
+
  private:
   uint32_t ClaimableMask(unsigned hart) const;
   void RebuildPriorityMask();

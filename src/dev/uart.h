@@ -33,6 +33,7 @@ class Uart : public MmioDevice {
   void ClearOutput() { output_.clear(); }
   void PushInput(const std::string& text);
   bool has_input() const { return !input_.empty(); }
+  size_t input_pending() const { return input_.size(); }
 
   // When true, bytes are also echoed to the host's stderr (used by examples).
   void set_echo(bool echo) { echo_ = echo; }

@@ -1,10 +1,12 @@
 #include "src/sim/machine.h"
 
 #include <cinttypes>
+#include <cstdio>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/common/state.h"
+#include "src/isa/csr.h"
 
 namespace vfm {
 
@@ -100,7 +102,175 @@ uint64_t SegmentStopCycles(const Hart& hart, uint64_t stop_delta) {
   return stop >= now ? stop : ~uint64_t{0};
 }
 
+// FNV-1a, the rolling hash behind the replay verifier's checkpoints. Not
+// cryptographic — it only needs to make two diverged states hash differently with
+// overwhelming probability, cheaply.
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(const void* data, size_t size, uint64_t h) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t value, uint64_t h) { return FnvBytes(&value, sizeof value, h); }
+
+uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::string CoordString(uint64_t retired, uint64_t round) {
+  return "(retired " + std::to_string(retired) + ", round " + std::to_string(round) + ")";
+}
+
 }  // namespace
+
+void WriteConfigFingerprint(StateWriter& writer, const MachineConfig& config) {
+  writer.U32(config.hart_count);
+  writer.U64(config.map.ram_base);
+  writer.U64(config.map.ram_size);
+  writer.U64(config.map.clint_base);
+  writer.U64(config.map.plic_base);
+  writer.U64(config.map.uart_base);
+  writer.U64(config.map.blockdev_base);
+  writer.U64(config.map.finisher_base);
+  writer.Bool(config.blockdev.enabled);
+  writer.U64(config.blockdev.sectors);
+  writer.U32(config.isa.pmp_entries);
+  writer.Bool(config.isa.has_time_csr);
+  writer.Bool(config.isa.has_sstc);
+  writer.Bool(config.isa.has_h_ext);
+  writer.Bool(config.isa.has_custom_csrs);
+  writer.Bool(config.isa.hw_misaligned);
+}
+
+void CheckConfigFingerprint(StateReader& reader, const MachineConfig& config,
+                            const char* what) {
+  const uint32_t hart_count = reader.U32();
+  const uint64_t ram_base = reader.U64();
+  const uint64_t ram_size = reader.U64();
+  const uint64_t clint_base = reader.U64();
+  const uint64_t plic_base = reader.U64();
+  const uint64_t uart_base = reader.U64();
+  const uint64_t blockdev_base = reader.U64();
+  const uint64_t finisher_base = reader.U64();
+  const bool blockdev_enabled = reader.Bool();
+  const uint64_t blockdev_sectors = reader.U64();
+  const uint32_t pmp_entries = reader.U32();
+  const bool has_time_csr = reader.Bool();
+  const bool has_sstc = reader.Bool();
+  const bool has_h_ext = reader.Bool();
+  const bool has_custom_csrs = reader.Bool();
+  const bool hw_misaligned = reader.Bool();
+  if (reader.ok() &&
+      (hart_count != config.hart_count || ram_base != config.map.ram_base ||
+       ram_size != config.map.ram_size || clint_base != config.map.clint_base ||
+       plic_base != config.map.plic_base || uart_base != config.map.uart_base ||
+       blockdev_base != config.map.blockdev_base ||
+       finisher_base != config.map.finisher_base ||
+       blockdev_enabled != config.blockdev.enabled ||
+       blockdev_sectors != config.blockdev.sectors ||
+       pmp_entries != config.isa.pmp_entries ||
+       has_time_csr != config.isa.has_time_csr || has_sstc != config.isa.has_sstc ||
+       has_h_ext != config.isa.has_h_ext ||
+       has_custom_csrs != config.isa.has_custom_csrs ||
+       hw_misaligned != config.isa.hw_misaligned)) {
+    reader.Fail(std::string(what) +
+                " fingerprint does not match this machine's configuration");
+  }
+}
+
+void WriteMachineConfig(StateWriter& writer, const MachineConfig& config) {
+  writer.BeginSection(StateTag("MCFG"), 1);
+  WriteConfigFingerprint(writer, config);
+  writer.U64(config.isa.mvendorid);
+  writer.U64(config.isa.marchid);
+  writer.U64(config.isa.mimpid);
+  writer.U64(config.blockdev.latency_ticks);
+  writer.U64(config.blockdev.ticks_per_sector);
+  writer.U64(config.cost.instr_base);
+  writer.U64(config.cost.instr_muldiv);
+  writer.U64(config.cost.instr_mem);
+  writer.U64(config.cost.trap_entry);
+  writer.U64(config.cost.page_walk_level);
+  writer.U64(config.cost.hal_csr_access);
+  writer.U64(config.cost.monitor_dispatch);
+  writer.U64(config.cost.hal_mem_access);
+  writer.U64(config.cost.hal_base_op);
+  writer.U64(config.cost.tlb_flush);
+  writer.U64(config.cost.mtime_tick_cycles);
+  writer.U64(config.cost.freq_mhz);
+  writer.U32(config.tuning.decode_cache_entries);
+  writer.U32(config.tuning.max_batch_instructions);
+  writer.U32(config.tuning.tlb_entries);
+  writer.Bool(config.tuning.tlb_enabled);
+  writer.U32(config.tuning.superblock_entries);
+  writer.Bool(config.tuning.threaded_enabled);
+  writer.U32(config.tuning.threaded_promote_threshold);
+  writer.Bool(config.tuning.quantum_harts);
+  writer.Bool(config.tuning.parallel_harts);
+  writer.EndSection();
+}
+
+bool ReadMachineConfig(StateReader& reader, MachineConfig* config) {
+  MachineConfig c;
+  reader.BeginSection(StateTag("MCFG"));
+  c.hart_count = reader.U32();
+  c.map.ram_base = reader.U64();
+  c.map.ram_size = reader.U64();
+  c.map.clint_base = reader.U64();
+  c.map.plic_base = reader.U64();
+  c.map.uart_base = reader.U64();
+  c.map.blockdev_base = reader.U64();
+  c.map.finisher_base = reader.U64();
+  c.blockdev.enabled = reader.Bool();
+  c.blockdev.sectors = reader.U64();
+  c.isa.pmp_entries = reader.U32();
+  c.isa.has_time_csr = reader.Bool();
+  c.isa.has_sstc = reader.Bool();
+  c.isa.has_h_ext = reader.Bool();
+  c.isa.has_custom_csrs = reader.Bool();
+  c.isa.hw_misaligned = reader.Bool();
+  c.isa.mvendorid = reader.U64();
+  c.isa.marchid = reader.U64();
+  c.isa.mimpid = reader.U64();
+  c.blockdev.latency_ticks = reader.U64();
+  c.blockdev.ticks_per_sector = reader.U64();
+  c.cost.instr_base = reader.U64();
+  c.cost.instr_muldiv = reader.U64();
+  c.cost.instr_mem = reader.U64();
+  c.cost.trap_entry = reader.U64();
+  c.cost.page_walk_level = reader.U64();
+  c.cost.hal_csr_access = reader.U64();
+  c.cost.monitor_dispatch = reader.U64();
+  c.cost.hal_mem_access = reader.U64();
+  c.cost.hal_base_op = reader.U64();
+  c.cost.tlb_flush = reader.U64();
+  c.cost.mtime_tick_cycles = reader.U64();
+  c.cost.freq_mhz = reader.U64();
+  c.tuning.decode_cache_entries = reader.U32();
+  c.tuning.max_batch_instructions = reader.U32();
+  c.tuning.tlb_entries = reader.U32();
+  c.tuning.tlb_enabled = reader.Bool();
+  c.tuning.superblock_entries = reader.U32();
+  c.tuning.threaded_enabled = reader.Bool();
+  c.tuning.threaded_promote_threshold = reader.U32();
+  c.tuning.quantum_harts = reader.Bool();
+  c.tuning.parallel_harts = reader.Bool();
+  reader.EndSection();
+  if (!reader.ok()) {
+    return false;
+  }
+  if (config != nullptr) {
+    *config = c;
+  }
+  return true;
+}
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
   VFM_CHECK(config_.hart_count >= 1);
@@ -200,8 +370,35 @@ void Machine::WorkerMain(unsigned hart_index) {
   }
 }
 
+// Recording state: the open trace plus the high-water marks the barrier hook
+// compares against. Owned by the Machine between StartRecording and StopRecording.
+struct Machine::Recorder {
+  TraceWriter writer;
+  std::string path;
+  uint64_t hash_period = 1;
+  uint64_t last_hash_rounds = 0;
+  uint64_t last_blockdev_completions = 0;
+};
+
+// Replay state: the parsed event list and a cursor into it, plus the result being
+// filled in. Lives on ReplayFrom's stack; `replay_` points at it so the barrier
+// hook can consume checkpoints while the replayed runs execute.
+struct Machine::ReplayCursor {
+  const std::vector<TraceEvent>* events = nullptr;
+  size_t next = 0;
+  ReplayResult* result = nullptr;
+};
+
 bool Machine::LoadImage(uint64_t addr, const std::vector<uint8_t>& image) {
-  return bus_.WriteBytes(addr, image.data(), image.size());
+  const bool ok = bus_.WriteBytes(addr, image.data(), image.size());
+  if (ok && recorder_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kLoadImage;
+    event.a = addr;
+    event.payload = image;
+    RecordEvent(std::move(event));
+  }
+  return ok;
 }
 
 void Machine::RefreshInterruptLines() {
@@ -226,6 +423,7 @@ void Machine::RefreshInterruptLines() {
 }
 
 uint64_t Machine::StepAll() {
+  const bool traced = BeginTracedRun(TraceRunKind::kStepAll, 0, 0);
   // Superblock host-pointer stores bypass Bus::Write, so any execution round may
   // dirty RAM behind the bus's back; mark conservatively for the CoW freeze reuse.
   bus_.SetRamMaybeDirty();
@@ -253,6 +451,12 @@ uint64_t Machine::StepAll() {
   }
   if (blockdev_) {
     blockdev_->Tick(clint_->mtime());
+  }
+  lifetime_retired_ += retired;
+  ++lifetime_rounds_;
+  TraceBarrier();
+  if (traced) {
+    EndTracedRun();
   }
   return retired;
 }
@@ -318,6 +522,7 @@ uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
   if (blockdev_) {
     blockdev_->Tick(clint_->mtime());
   }
+  lifetime_rounds_ += skip;
   return skip;
 }
 
@@ -327,6 +532,17 @@ bool Machine::RunUntilFinished(uint64_t max_instructions) {
 
 bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
                                RunProgress* progress) {
+  const bool traced =
+      BeginTracedRun(TraceRunKind::kRunUntilFinished, max_instructions, max_rounds);
+  const bool finished = RunUntilFinishedInner(max_instructions, max_rounds, progress);
+  if (traced) {
+    EndTracedRun();
+  }
+  return finished;
+}
+
+bool Machine::RunUntilFinishedInner(uint64_t max_instructions, uint64_t max_rounds,
+                                    RunProgress* progress) {
   // Multi-hart machines default to per-instruction rounds (harts observe each
   // other's stores and IPIs round by round). The quantum tunings switch them to the
   // deterministic quantum schedule (DESIGN.md §2i), where each hart runs privately
@@ -396,6 +612,8 @@ bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
     const Hart::BatchResult batch = hart.RunBatch(n, stop_cycles);
     rounds += batch.executed;
     retired += batch.retired;
+    lifetime_rounds_ += batch.executed;
+    lifetime_retired_ += batch.retired;
     if (batch.last.trapped) {
       if (trap_observer_) {
         trap_observer_(hart, batch.last);
@@ -418,6 +636,7 @@ bool Machine::RunUntilFinished(uint64_t max_instructions, uint64_t max_rounds,
     if (batch.last.waiting && rounds < round_cap) {
       rounds += FastForwardIdle(round_cap - rounds);
     }
+    TraceBarrier();
     if (retired >= max_instructions || rounds >= round_cap) {
       report();
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
@@ -595,12 +814,14 @@ bool Machine::RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds,
       Hart& hart = *harts_[i];
       uint64_t hr = results[i].executed;
       retired += results[i].retired;
+      lifetime_retired_ += results[i].retired;
       if (hart.ConsumeSyncPending() || results[i].last.trapped) {
         while (hr < n && hart.cycles() < stops[i] && !hart.waiting() &&
                !finisher_->finished()) {
           const Hart::BatchResult cont = hart.RunBatch(n - hr, stops[i]);
           hr += cont.executed;
           retired += cont.retired;
+          lifetime_retired_ += cont.retired;
           handle_trap(hart, cont.last);
         }
       }
@@ -620,6 +841,7 @@ bool Machine::RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds,
     // A quantum advances wall-clock by its longest hart segment; count rounds so
     // the 4x round bound keeps its per-instruction meaning for the busiest hart.
     rounds += quantum_rounds;
+    lifetime_rounds_ += quantum_rounds;
     // (d) Timebase and device ticks, from hart 0's clock, exactly as StepAll does.
     if (tick_cycles != 0) {
       const uint64_t ticks_due = harts_[0]->cycles() / tick_cycles;
@@ -638,6 +860,7 @@ bool Machine::RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds,
     if (all_waiting && rounds < round_cap) {
       rounds += FastForwardIdle(round_cap - rounds);
     }
+    TraceBarrier();
     if (retired >= max_instructions || rounds >= round_cap) {
       report();
       VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
@@ -656,6 +879,18 @@ bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_inst
 
 bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions,
                        uint64_t max_rounds, RunProgress* progress) {
+  const bool traced =
+      BeginTracedRun(TraceRunKind::kRunUntil, max_instructions, max_rounds);
+  const bool stopped = RunUntilInner(predicate, max_instructions, max_rounds, progress);
+  if (traced) {
+    EndTracedRun();
+  }
+  return stopped;
+}
+
+bool Machine::RunUntilInner(const std::function<bool()>& predicate,
+                            uint64_t max_instructions, uint64_t max_rounds,
+                            RunProgress* progress) {
   const uint64_t round_cap = max_rounds;
   uint64_t retired = 0;
   uint64_t rounds = 0;
@@ -704,30 +939,26 @@ bool Machine::RunUntil(const std::function<bool()>& predicate, uint64_t max_inst
 }
 
 void Machine::SaveSnapshot(Snapshot& snapshot) {
+  // A snapshot point is a replayable host action: the CoW freeze is behaviour-
+  // invisible, but replay must mirror it so the RAM images' remap bookkeeping
+  // (generation bumps) happens at the identical coordinate.
+  if (recorder_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kSnapshotPoint;
+    RecordEvent(std::move(event));
+  }
   snapshot.state.clear();
   snapshot.ram.clear();
   StateWriter writer;
-  writer.BeginSection(StateTag("MACH"), 1);
+  writer.BeginSection(StateTag("MACH"), 2);
   // Configuration fingerprint: a snapshot only restores onto a machine whose
   // simulated-behaviour-relevant configuration matches bit for bit. (Host tuning is
   // deliberately excluded — restoring onto a differently-tuned machine is exactly
-  // the cosim matrix's job.)
-  writer.U32(config_.hart_count);
-  writer.U64(config_.map.ram_base);
-  writer.U64(config_.map.ram_size);
-  writer.U64(config_.map.clint_base);
-  writer.U64(config_.map.plic_base);
-  writer.U64(config_.map.uart_base);
-  writer.U64(config_.map.blockdev_base);
-  writer.U64(config_.map.finisher_base);
-  writer.Bool(config_.blockdev.enabled);
-  writer.U64(config_.blockdev.sectors);
-  writer.U32(config_.isa.pmp_entries);
-  writer.Bool(config_.isa.has_time_csr);
-  writer.Bool(config_.isa.has_sstc);
-  writer.Bool(config_.isa.has_h_ext);
-  writer.Bool(config_.isa.has_custom_csrs);
-  writer.Bool(config_.isa.hw_misaligned);
+  // the cosim matrix's job.) The same fingerprint guards trace replay.
+  WriteConfigFingerprint(writer, config_);
+  // Version 2: machine-lifetime progress, the anchor for record/replay coordinates.
+  writer.U64(lifetime_retired_);
+  writer.U64(lifetime_rounds_);
   // Per-hart sections, the bus section, then every device in bus registration
   // order — the uniform state API means the machine never enumerates device types.
   for (const auto& hart : harts_) {
@@ -743,38 +974,20 @@ void Machine::SaveSnapshot(Snapshot& snapshot) {
 }
 
 bool Machine::RestoreSnapshot(const Snapshot& snapshot) {
+  // Restoring to an arbitrary point invalidates the open trace's coordinate
+  // system; a recording cannot continue across it.
+  if (recorder_ != nullptr) {
+    VFM_LOG_WARN("sim", "snapshot restore while recording: recording abandoned");
+    recorder_.reset();
+  }
   StateReader reader(snapshot.state);
-  reader.BeginSection(StateTag("MACH"));
-  const uint32_t hart_count = reader.U32();
-  const uint64_t ram_base = reader.U64();
-  const uint64_t ram_size = reader.U64();
-  const uint64_t clint_base = reader.U64();
-  const uint64_t plic_base = reader.U64();
-  const uint64_t uart_base = reader.U64();
-  const uint64_t blockdev_base = reader.U64();
-  const uint64_t finisher_base = reader.U64();
-  const bool blockdev_enabled = reader.Bool();
-  const uint64_t blockdev_sectors = reader.U64();
-  const uint32_t pmp_entries = reader.U32();
-  const bool has_time_csr = reader.Bool();
-  const bool has_sstc = reader.Bool();
-  const bool has_h_ext = reader.Bool();
-  const bool has_custom_csrs = reader.Bool();
-  const bool hw_misaligned = reader.Bool();
-  if (reader.ok() &&
-      (hart_count != config_.hart_count || ram_base != config_.map.ram_base ||
-       ram_size != config_.map.ram_size || clint_base != config_.map.clint_base ||
-       plic_base != config_.map.plic_base || uart_base != config_.map.uart_base ||
-       blockdev_base != config_.map.blockdev_base ||
-       finisher_base != config_.map.finisher_base ||
-       blockdev_enabled != config_.blockdev.enabled ||
-       blockdev_sectors != config_.blockdev.sectors ||
-       pmp_entries != config_.isa.pmp_entries ||
-       has_time_csr != config_.isa.has_time_csr || has_sstc != config_.isa.has_sstc ||
-       has_h_ext != config_.isa.has_h_ext ||
-       has_custom_csrs != config_.isa.has_custom_csrs ||
-       hw_misaligned != config_.isa.hw_misaligned)) {
-    reader.Fail("snapshot fingerprint does not match this machine's configuration");
+  const uint32_t version = reader.BeginSection(StateTag("MACH"));
+  CheckConfigFingerprint(reader, config_, "snapshot");
+  uint64_t lifetime_retired = 0;
+  uint64_t lifetime_rounds = 0;
+  if (version >= 2) {
+    lifetime_retired = reader.U64();
+    lifetime_rounds = reader.U64();
   }
   for (auto& hart : harts_) {
     if (reader.ok() && !hart->LoadState(reader)) {
@@ -795,6 +1008,8 @@ bool Machine::RestoreSnapshot(const Snapshot& snapshot) {
     return false;
   }
   bus_.AdoptRam(snapshot.ram);
+  lifetime_retired_ = lifetime_retired;
+  lifetime_rounds_ = lifetime_rounds;
   return true;
 }
 
@@ -813,6 +1028,605 @@ uint64_t Machine::total_instret() const {
     total += hart->instret();
   }
   return total;
+}
+
+// -- Deterministic record/replay (DESIGN.md §2j). -----------------------------------
+
+std::string DescribeReplay(const ReplayResult& result) {
+  if (result.ok) {
+    return "ok";
+  }
+  if (result.diverged) {
+    return "diverged at hart " + std::to_string(result.hart) + " " +
+           CoordString(result.retired, result.round) + ": " + result.detail;
+  }
+  return result.error;
+}
+
+bool Machine::StartRecording(const std::string& path, uint64_t hash_period_rounds) {
+  if (recorder_ != nullptr || replay_ != nullptr) {
+    return false;
+  }
+  recorder_ = std::make_unique<Recorder>();
+  recorder_->path = path;
+  recorder_->hash_period = hash_period_rounds > 0 ? hash_period_rounds : 1;
+  recorder_->last_hash_rounds = lifetime_rounds_;
+  recorder_->last_blockdev_completions =
+      blockdev_ != nullptr ? blockdev_->completed_commands() : 0;
+  TraceHeader header;
+  StateWriter fingerprint;
+  WriteConfigFingerprint(fingerprint, config_);
+  header.fingerprint = fingerprint.Take();
+  header.anchor_retired = lifetime_retired_;
+  header.anchor_rounds = lifetime_rounds_;
+  header.hart_count = hart_count();
+  header.hash_period = recorder_->hash_period;
+  recorder_->writer.Begin(header);
+  return true;
+}
+
+bool Machine::StopRecording(std::vector<uint8_t>* trace_out) {
+  if (recorder_ == nullptr) {
+    return false;
+  }
+  // The end-of-trace event doubles as the deepest checkpoint: besides the rolling
+  // state hashes it carries a full RAM hash and (if present) a full block-device
+  // state hash, too expensive for the periodic cadence but cheap once per trace.
+  TraceEvent end;
+  end.kind = TraceEventKind::kEnd;
+  end.payload = StateHashPayload();
+  end.a = HashRam();
+  end.b = blockdev_ != nullptr ? HashBlockdevFull() : 0;
+  RecordEvent(std::move(end));
+  std::vector<uint8_t> bytes = recorder_->writer.Finish();
+  bool ok = true;
+  if (!recorder_->path.empty()) {
+    ok = WriteTraceFile(recorder_->path, bytes);
+    if (!ok) {
+      VFM_LOG_WARN("sim", "failed to write trace file %s", recorder_->path.c_str());
+    }
+  }
+  if (trace_out != nullptr) {
+    *trace_out = std::move(bytes);
+  }
+  recorder_.reset();
+  return ok;
+}
+
+void Machine::InjectUartInput(const std::string& bytes) {
+  uart_->PushInput(bytes);
+  if (recorder_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kUartInput;
+    event.payload.assign(bytes.begin(), bytes.end());
+    RecordEvent(std::move(event));
+  }
+}
+
+void Machine::InjectPlicLine(unsigned source, bool level) {
+  if (level) {
+    plic_->RaiseSource(source);
+  } else {
+    plic_->ClearSource(source);
+  }
+  if (recorder_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kPlicLine;
+    event.a = source;
+    event.b = level ? 1 : 0;
+    RecordEvent(std::move(event));
+  }
+}
+
+void Machine::InjectHostTime(uint64_t mtime) {
+  clint_->set_mtime(mtime);
+  if (recorder_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kHostTime;
+    event.a = mtime;
+    RecordEvent(std::move(event));
+  }
+}
+
+bool Machine::BeginTracedRun(TraceRunKind kind, uint64_t a, uint64_t b) {
+  if (recorder_ == nullptr || in_traced_run_) {
+    return false;
+  }
+  in_traced_run_ = true;
+  TraceEvent event;
+  event.kind = TraceEventKind::kRun;
+  event.sub = static_cast<uint8_t>(kind);
+  event.a = a;
+  event.b = b;
+  RecordEvent(std::move(event));
+  return true;
+}
+
+void Machine::EndTracedRun() {
+  TraceEvent event;
+  event.kind = TraceEventKind::kRunDone;
+  event.a = finisher_->finished() ? 1 : 0;
+  RecordEvent(std::move(event));
+  in_traced_run_ = false;
+}
+
+void Machine::RecordEvent(TraceEvent event) {
+  event.retired = lifetime_retired_;
+  event.round = lifetime_rounds_;
+  recorder_->writer.Append(event);
+}
+
+void Machine::TraceBarrier() {
+  if (recorder_ != nullptr) {
+    if (blockdev_ != nullptr) {
+      const uint64_t done = blockdev_->completed_commands();
+      if (done != recorder_->last_blockdev_completions) {
+        recorder_->last_blockdev_completions = done;
+        TraceEvent event;
+        event.kind = TraceEventKind::kBlockdevCompletion;
+        event.a = done;
+        RecordEvent(std::move(event));
+      }
+    }
+    if (lifetime_rounds_ - recorder_->last_hash_rounds >= recorder_->hash_period) {
+      recorder_->last_hash_rounds = lifetime_rounds_;
+      TraceEvent event;
+      event.kind = TraceEventKind::kStateHash;
+      event.payload = StateHashPayload();
+      RecordEvent(std::move(event));
+    }
+  } else if (replay_ != nullptr) {
+    ReplayConsumeCheckpoints();
+  }
+}
+
+void Machine::ReplayConsumeCheckpoints() {
+  ReplayCursor& cursor = *replay_;
+  ReplayResult& result = *cursor.result;
+  while (!result.diverged && cursor.next < cursor.events->size()) {
+    const TraceEvent& event = (*cursor.events)[cursor.next];
+    if (event.kind != TraceEventKind::kStateHash &&
+        event.kind != TraceEventKind::kBlockdevCompletion) {
+      break;
+    }
+    if (event.round > lifetime_rounds_) {
+      break;  // not due yet
+    }
+    if (event.round != lifetime_rounds_ || event.retired != lifetime_retired_) {
+      // The recording passed through a barrier coordinate this replay never
+      // reached: the schedules themselves diverged before any hash could differ.
+      ReplayDiverge(0, event,
+                    "schedule drift: checkpoint recorded at " +
+                        CoordString(event.retired, event.round) +
+                        " but replay reached " +
+                        CoordString(lifetime_retired_, lifetime_rounds_));
+      break;
+    }
+    VerifyCheckpoint(event);
+    ++cursor.next;
+  }
+}
+
+void Machine::VerifyCheckpoint(const TraceEvent& event) {
+  ReplayResult& result = *replay_->result;
+  if (event.kind == TraceEventKind::kBlockdevCompletion) {
+    const uint64_t done = blockdev_ != nullptr ? blockdev_->completed_commands() : 0;
+    if (done != event.a) {
+      ReplayDiverge(hart_count(), event,
+                    "blockdev completion count " + std::to_string(done) +
+                        " != recorded " + std::to_string(event.a));
+    }
+    return;
+  }
+  // kStateHash and kEnd share the payload layout: one hash per hart, then the
+  // device hash. The first mismatching hart localizes the divergence.
+  const size_t expected_size = (hart_count() + 1) * sizeof(uint64_t);
+  if (event.payload.size() != expected_size) {
+    result.error = "malformed trace: checkpoint payload size mismatch";
+    return;
+  }
+  for (unsigned i = 0; i < hart_count(); ++i) {
+    const uint64_t recorded = LoadLe64(event.payload.data() + i * sizeof(uint64_t));
+    const uint64_t got = HashHartState(*harts_[i]);
+    if (got != recorded) {
+      ReplayDiverge(i, event, "hart " + std::to_string(i) + " state hash mismatch");
+      return;
+    }
+  }
+  const uint64_t recorded_dev =
+      LoadLe64(event.payload.data() + hart_count() * sizeof(uint64_t));
+  if (HashDeviceState() != recorded_dev) {
+    ReplayDiverge(hart_count(), event, "device state hash mismatch");
+    return;
+  }
+  ++result.hashes_checked;
+}
+
+void Machine::ReplayDiverge(uint32_t hart, const TraceEvent& event,
+                            const std::string& detail) {
+  ReplayResult& result = *replay_->result;
+  if (result.diverged) {
+    return;  // keep the first divergence
+  }
+  result.diverged = true;
+  result.hart = hart;
+  result.retired = event.retired;
+  result.round = event.round;
+  result.detail = detail;
+}
+
+uint64_t Machine::HashHartState(const Hart& hart) const {
+  uint64_t h = kFnvBasis;
+  h = FnvU64(hart.pc(), h);
+  h = FnvU64(static_cast<uint64_t>(hart.priv()), h);
+  h = FnvU64(hart.waiting() ? 1 : 0, h);
+  for (unsigned i = 1; i < 32; ++i) {
+    h = FnvU64(hart.gpr(i), h);
+  }
+  h = FnvU64(hart.instret(), h);
+  h = FnvU64(hart.cycles(), h);
+  // The CSRs whose divergence a schedule bug is most likely to surface through;
+  // full state is covered by the end-of-trace RAM hash and device sections.
+  static constexpr uint16_t kHashedCsrs[] = {
+      kCsrMstatus, kCsrMie,  kCsrMip,    kCsrMedeleg,  kCsrMideleg, kCsrMtvec,
+      kCsrMepc,    kCsrMcause, kCsrMtval, kCsrMscratch, kCsrStvec,   kCsrSepc,
+      kCsrScause,  kCsrStval, kCsrSscratch, kCsrSatp,
+  };
+  for (uint16_t csr : kHashedCsrs) {
+    h = FnvU64(hart.csrs().Get(csr), h);
+  }
+  return h;
+}
+
+uint64_t Machine::HashDeviceState() const {
+  // Device state is hashed through the uniform SaveState sections — any device
+  // that joins the bus joins the checkpoint with no machine changes. The block
+  // device is excluded here because its section carries the whole disk; its
+  // registers are folded in from accessors below, and the disk contents are
+  // covered by the end-of-trace full hash plus the completion-edge events.
+  StateWriter writer;
+  for (const Bus::MmioWindow& window : bus_.mmio_windows()) {
+    if (blockdev_ != nullptr && window.device == blockdev_.get()) {
+      continue;
+    }
+    window.device->SaveState(writer);
+  }
+  uint64_t h = FnvBytes(writer.bytes().data(), writer.bytes().size(), kFnvBasis);
+  if (blockdev_ != nullptr) {
+    h = FnvU64(blockdev_->status(), h);
+    h = FnvU64(blockdev_->busy() ? blockdev_->deadline() : 0, h);
+    h = FnvU64(blockdev_->completed_commands(), h);
+  }
+  return h;
+}
+
+std::vector<uint8_t> Machine::StateHashPayload() const {
+  std::vector<uint8_t> payload;
+  payload.reserve((hart_count() + 1) * sizeof(uint64_t));
+  const auto append = [&payload](uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  for (unsigned i = 0; i < hart_count(); ++i) {
+    append(HashHartState(*harts_[i]));
+  }
+  append(HashDeviceState());
+  return payload;
+}
+
+uint64_t Machine::HashRam() const {
+  uint8_t buffer[4096];
+  uint64_t h = kFnvBasis;
+  const uint64_t base = config_.map.ram_base;
+  const uint64_t size = config_.map.ram_size;
+  for (uint64_t offset = 0; offset < size; offset += sizeof(buffer)) {
+    const uint64_t chunk =
+        size - offset < sizeof(buffer) ? size - offset : sizeof(buffer);
+    if (!bus_.ReadBytes(base + offset, buffer, chunk)) {
+      return 0;
+    }
+    h = FnvBytes(buffer, chunk, h);
+  }
+  return h;
+}
+
+uint64_t Machine::HashBlockdevFull() const {
+  StateWriter writer;
+  blockdev_->SaveState(writer);
+  return FnvBytes(writer.bytes().data(), writer.bytes().size(), kFnvBasis);
+}
+
+void Machine::ExecuteReplayRun(const TraceEvent& run) {
+  ReplayCursor& cursor = *replay_;
+  ReplayResult& result = *cursor.result;
+  RunProgress progress;
+  switch (static_cast<TraceRunKind>(run.sub)) {
+    case TraceRunKind::kStepAll:
+      StepAll();
+      break;
+    case TraceRunKind::kRunUntilFinished:
+      // Replay re-issues the original budgets verbatim: quantum segment sizing
+      // depends on the remaining round allowance, so a different budget would
+      // change the schedule, not just the stop point.
+      RunUntilFinished(run.a, run.b, &progress);
+      break;
+    case TraceRunKind::kRunUntil: {
+      // The original predicate is host code and cannot be serialized; its effect
+      // can. Rounds strictly increase between predicate checks and the check
+      // coordinates of a deterministic replay are identical, so "progress reached
+      // the recorded stop coordinate" fires at exactly the recorded check.
+      const TraceEvent* done = nullptr;
+      for (size_t i = cursor.next; i < cursor.events->size(); ++i) {
+        const TraceEventKind kind = (*cursor.events)[i].kind;
+        if (kind == TraceEventKind::kRunDone) {
+          done = &(*cursor.events)[i];
+          break;
+        }
+        if (kind != TraceEventKind::kStateHash &&
+            kind != TraceEventKind::kBlockdevCompletion) {
+          break;
+        }
+      }
+      if (done == nullptr) {
+        result.error = "malformed trace: run event without a matching run-done";
+        return;
+      }
+      const uint64_t target_retired = done->retired;
+      const uint64_t target_round = done->round;
+      RunUntil(
+          [this, target_retired, target_round] {
+            return lifetime_rounds_ >= target_round &&
+                   lifetime_retired_ >= target_retired;
+          },
+          run.a, run.b, &progress);
+      break;
+    }
+    default:
+      result.error = "malformed trace: unknown run kind";
+      return;
+  }
+  if (result.diverged || !result.error.empty()) {
+    return;
+  }
+  // Checkpoints recorded at the stop coordinate may still be pending (e.g. a
+  // zero-round run); consume them before matching the run-done event.
+  ReplayConsumeCheckpoints();
+  if (result.diverged) {
+    return;
+  }
+  if (cursor.next >= cursor.events->size()) {
+    result.error = "malformed trace: expected a run-done event";
+    return;
+  }
+  if ((*cursor.events)[cursor.next].kind != TraceEventKind::kRunDone) {
+    const TraceEvent& next = (*cursor.events)[cursor.next];
+    if (next.kind == TraceEventKind::kStateHash ||
+        next.kind == TraceEventKind::kBlockdevCompletion) {
+      // The replay's run stopped before the recording reached its next
+      // checkpoint — a schedule divergence, not a malformed trace.
+      ReplayDiverge(0, next,
+                    "replay run stopped at " +
+                        CoordString(lifetime_retired_, lifetime_rounds_) +
+                        " before the checkpoint recorded at " +
+                        CoordString(next.retired, next.round));
+    } else {
+      result.error = "malformed trace: expected a run-done event";
+    }
+    return;
+  }
+  const TraceEvent& done = (*cursor.events)[cursor.next];
+  if (done.retired != lifetime_retired_ || done.round != lifetime_rounds_) {
+    ReplayDiverge(0, done,
+                  "run stopped at " +
+                      CoordString(lifetime_retired_, lifetime_rounds_) +
+                      " but the recording stopped at " +
+                      CoordString(done.retired, done.round));
+    return;
+  }
+  if ((done.a != 0) != finisher_->finished()) {
+    ReplayDiverge(0, done,
+                  std::string("finished flag mismatch: replay ") +
+                      (finisher_->finished() ? "finished" : "did not finish") +
+                      ", recording " + (done.a != 0 ? "finished" : "did not"));
+    return;
+  }
+  ++cursor.next;
+  ++result.events_applied;
+}
+
+ReplayResult Machine::ReplayFrom(const Snapshot& snapshot,
+                                 const std::vector<uint8_t>& trace,
+                                 const std::function<bool()>& post_restore) {
+  ReplayResult result;
+  if (recorder_ != nullptr) {
+    result.error = "cannot replay while recording";
+    return result;
+  }
+  if (replay_ != nullptr) {
+    result.error = "replay already in progress";
+    return result;
+  }
+  TraceReader reader(trace);
+  if (!reader.ok()) {
+    result.error = "trace rejected: " + reader.error();
+    return result;
+  }
+  const TraceHeader& header = reader.header();
+  {
+    // The same rejection path snapshot restore uses: the trace embeds the
+    // recording machine's config fingerprint, checked against this machine.
+    StateReader fingerprint(header.fingerprint);
+    CheckConfigFingerprint(fingerprint, config_, "trace");
+    if (!fingerprint.ok()) {
+      result.error = "trace rejected: " + fingerprint.error();
+      return result;
+    }
+  }
+  if (!RestoreSnapshot(snapshot)) {
+    result.error = "snapshot restore failed";
+    return result;
+  }
+  if (post_restore != nullptr && !post_restore()) {
+    result.error = "post-restore hook failed";
+    return result;
+  }
+  if (lifetime_retired_ != header.anchor_retired ||
+      lifetime_rounds_ != header.anchor_rounds) {
+    result.error = "trace anchor " +
+                   CoordString(header.anchor_retired, header.anchor_rounds) +
+                   " does not match the snapshot's progress " +
+                   CoordString(lifetime_retired_, lifetime_rounds_);
+    return result;
+  }
+  ReplayCursor cursor;
+  cursor.events = &reader.events();
+  cursor.result = &result;
+  replay_ = &cursor;
+  const std::vector<TraceEvent>& events = reader.events();
+  bool saw_end = false;
+  while (!result.diverged && result.error.empty() && !saw_end &&
+         cursor.next < events.size()) {
+    const TraceEvent& event = events[cursor.next];
+    // Every input event was recorded between runs, at an exact coordinate; a
+    // replay that is not at that coordinate when the event comes up has already
+    // diverged in schedule.
+    const bool checkpoint = event.kind == TraceEventKind::kStateHash ||
+                            event.kind == TraceEventKind::kBlockdevCompletion;
+    if (!checkpoint &&
+        (event.retired != lifetime_retired_ || event.round != lifetime_rounds_)) {
+      ReplayDiverge(0, event,
+                    "schedule drift: event expected at " +
+                        CoordString(event.retired, event.round) +
+                        " but replay is at " +
+                        CoordString(lifetime_retired_, lifetime_rounds_));
+      break;
+    }
+    switch (event.kind) {
+      case TraceEventKind::kUartInput:
+        uart_->PushInput(std::string(event.payload.begin(), event.payload.end()));
+        ++cursor.next;
+        ++result.events_applied;
+        break;
+      case TraceEventKind::kPlicLine:
+        if (event.b != 0) {
+          plic_->RaiseSource(static_cast<unsigned>(event.a));
+        } else {
+          plic_->ClearSource(static_cast<unsigned>(event.a));
+        }
+        ++cursor.next;
+        ++result.events_applied;
+        break;
+      case TraceEventKind::kHostTime:
+        clint_->set_mtime(event.a);
+        ++cursor.next;
+        ++result.events_applied;
+        break;
+      case TraceEventKind::kLoadImage:
+        if (!bus_.WriteBytes(event.a, event.payload.data(), event.payload.size())) {
+          result.error = "replay LoadImage write failed";
+          break;
+        }
+        ++cursor.next;
+        ++result.events_applied;
+        break;
+      case TraceEventKind::kSnapshotPoint: {
+        ++cursor.next;
+        ++result.events_applied;
+        Snapshot scratch;
+        SaveSnapshot(scratch);  // mirror the recording's CoW freeze side effects
+        break;
+      }
+      case TraceEventKind::kRun:
+        ++cursor.next;
+        ++result.events_applied;
+        ExecuteReplayRun(event);
+        break;
+      case TraceEventKind::kStateHash:
+      case TraceEventKind::kBlockdevCompletion:
+        // Due exactly between runs (recorded at a barrier that coincided with a
+        // run boundary).
+        VerifyCheckpoint(event);
+        ++cursor.next;
+        break;
+      case TraceEventKind::kRunDone:
+        result.error = "malformed trace: stray run-done event";
+        break;
+      case TraceEventKind::kEnd: {
+        VerifyCheckpoint(event);
+        if (!result.diverged && result.error.empty()) {
+          if (HashRam() != event.a) {
+            ReplayDiverge(hart_count(), event, "RAM hash mismatch at end of trace");
+          } else if (blockdev_ != nullptr && HashBlockdevFull() != event.b) {
+            ReplayDiverge(hart_count(), event,
+                          "blockdev state hash mismatch at end of trace");
+          }
+        }
+        saw_end = true;
+        ++cursor.next;
+        break;
+      }
+      default:
+        result.error = "malformed trace: unknown event kind";
+        break;
+    }
+  }
+  replay_ = nullptr;
+  if (!result.diverged && result.error.empty() && !saw_end) {
+    result.error = "trace truncated";  // unreachable: TraceReader enforces kEnd
+  }
+  result.ok = !result.diverged && result.error.empty();
+  return result;
+}
+
+// -- Snapshot files (self-describing: full MachineConfig + state + RAM + aux). ------
+
+bool WriteSnapshotFile(const std::string& path, const MachineConfig& config,
+                       const Snapshot& snapshot, const std::vector<uint8_t>& aux) {
+  StateWriter writer;
+  writer.BeginSection(StateTag("SNPF"), 1);
+  WriteMachineConfig(writer, config);
+  writer.Bytes(snapshot.state.data(), snapshot.state.size());
+  writer.U32(static_cast<uint32_t>(snapshot.ram.size()));
+  for (const std::shared_ptr<RamImage>& image : snapshot.ram) {
+    std::vector<uint8_t> contents(image->size());
+    image->CopyTo(contents.data());
+    writer.Bytes(contents.data(), contents.size());
+  }
+  writer.Bytes(aux.data(), aux.size());
+  writer.EndSection();
+  return WriteTraceFile(path, writer.bytes());
+}
+
+bool ReadSnapshotFile(const std::string& path, MachineConfig* config,
+                      Snapshot* snapshot, std::vector<uint8_t>* aux) {
+  std::vector<uint8_t> bytes;
+  if (!ReadTraceFile(path, &bytes)) {
+    return false;
+  }
+  StateReader reader(bytes);
+  reader.BeginSection(StateTag("SNPF"));
+  if (!ReadMachineConfig(reader, config)) {
+    return false;
+  }
+  reader.Bytes(&snapshot->state);
+  const uint32_t ram_count = reader.U32();
+  snapshot->ram.clear();
+  std::vector<uint8_t> contents;
+  for (uint32_t i = 0; reader.ok() && i < ram_count; ++i) {
+    reader.Bytes(&contents);
+    snapshot->ram.push_back(RamImage::FromBytes(contents.data(), contents.size()));
+  }
+  std::vector<uint8_t> aux_bytes;
+  reader.Bytes(&aux_bytes);
+  reader.EndSection();
+  if (!reader.ok()) {
+    return false;
+  }
+  if (aux != nullptr) {
+    *aux = std::move(aux_bytes);
+  }
+  return true;
 }
 
 }  // namespace vfm

@@ -21,6 +21,7 @@
 #include "src/mem/bus.h"
 #include "src/sim/config.h"
 #include "src/sim/hart.h"
+#include "src/trace/trace.h"
 
 namespace vfm {
 
@@ -97,6 +98,51 @@ struct Snapshot {
   std::vector<uint8_t> state;
   std::vector<std::shared_ptr<RamImage>> ram;  // one per bus RAM region, in order
 };
+
+// The simulated-behaviour-relevant configuration fingerprint (hart count, memory
+// map, ISA, block device — host tuning deliberately excluded), shared by snapshot
+// restore and trace replay: both artifacts embed it at save/record time and both
+// load paths reject a mismatch the same way. Check* Fail()s the reader with a
+// message naming `what` ("snapshot", "trace") on any mismatch.
+void WriteConfigFingerprint(StateWriter& writer, const MachineConfig& config);
+void CheckConfigFingerprint(StateReader& reader, const MachineConfig& config,
+                            const char* what);
+
+// Full MachineConfig serialization (fingerprint fields plus cost model and tuning),
+// used by snapshot *files* so tools can reconstruct a Machine from the file alone.
+void WriteMachineConfig(StateWriter& writer, const MachineConfig& config);
+bool ReadMachineConfig(StateReader& reader, MachineConfig* config);
+
+// Snapshot file I/O: the in-memory Snapshot (state stream + RAM images), prefixed
+// with the full MachineConfig and followed by an opaque caller blob (`aux` — e.g.
+// serialized monitor state for monitored machines). Returns false on I/O or
+// format errors; `config`/`aux` may be nullptr when the caller does not need them.
+bool WriteSnapshotFile(const std::string& path, const MachineConfig& config,
+                       const Snapshot& snapshot,
+                       const std::vector<uint8_t>& aux = {});
+bool ReadSnapshotFile(const std::string& path, MachineConfig* config,
+                      Snapshot* snapshot, std::vector<uint8_t>* aux = nullptr);
+
+// Outcome of Machine::ReplayFrom (DESIGN.md §2j). `error` reports rejection before
+// or during replay (bad trace, fingerprint mismatch, malformed event stream);
+// `diverged` reports a verified divergence at the first mismatching coordinate.
+// `hart` identifies the first mismatching hart's state hash; hart == hart_count
+// means the device-state (or RAM) hash diverged.
+struct ReplayResult {
+  bool ok = false;       // replay ran to the end of the trace with zero divergence
+  bool diverged = false;
+  uint32_t hart = 0;     // first-divergence coordinate, valid when diverged
+  uint64_t retired = 0;
+  uint64_t round = 0;
+  std::string detail;    // human-readable divergence description
+  std::string error;     // non-divergence failure, empty otherwise
+  uint64_t events_applied = 0;
+  uint64_t hashes_checked = 0;
+};
+
+// One-line human-readable summary of a replay verdict: "ok", "diverged at hart H
+// (retired N, round M): <detail>", or the error.
+std::string DescribeReplay(const ReplayResult& result);
 
 class Machine {
  public:
@@ -178,6 +224,52 @@ class Machine {
   // either side writes. The child has no M-mode owner or trap observer installed.
   std::unique_ptr<Machine> Fork();
 
+  // -- Deterministic record/replay (DESIGN.md §2j). ---------------------------------
+  // Machine-lifetime progress: instructions retired and rounds executed since
+  // construction, across all run calls. Part of the snapshot (restore adopts the
+  // saved values), so the (retired, round) coordinate system traces are stamped
+  // with survives a save/restore split.
+  RunProgress progress() const { return {lifetime_retired_, lifetime_rounds_}; }
+
+  static constexpr uint64_t kDefaultHashPeriodRounds = 2048;
+
+  // Starts recording every external input — run calls with their budgets, UART
+  // input, PLIC line injections, host time pokes, LoadImage writes, snapshot
+  // points — plus a verification checkpoint (rolling state hash) every
+  // `hash_period_rounds` rounds and every block-device completion edge. Inputs
+  // must be injected through the Inject* wrappers below while recording. Returns
+  // false if already recording or replaying. The trace is anchored at the
+  // machine's current progress: pair it with a SaveSnapshot taken at the same
+  // point (before StartRecording) to make a self-contained repro artifact.
+  bool StartRecording(const std::string& path,
+                      uint64_t hash_period_rounds = kDefaultHashPeriodRounds);
+  // Finalizes the recording (appends the end-of-trace checkpoint: state hashes
+  // plus full RAM and disk hashes), writes it to the StartRecording path (skipped
+  // when the path was empty), and optionally returns the bytes. Returns false if
+  // not recording or the file write failed.
+  bool StopRecording(std::vector<uint8_t>* trace_out = nullptr);
+  bool recording() const { return recorder_ != nullptr; }
+
+  // Host input injection, recorded when a recording is active. These are the
+  // record/replay-aware forms of uart().PushInput(), plic().RaiseSource()/
+  // ClearSource(), and clint().set_mtime(); hosts that want their inputs replayed
+  // must use them. Safe (and equivalent to the direct calls) when not recording.
+  void InjectUartInput(const std::string& bytes);
+  void InjectPlicLine(unsigned source, bool level);
+  void InjectHostTime(uint64_t mtime);
+
+  // Restores `snapshot`, then re-executes the recorded run calls, re-injecting
+  // every input at its recorded (retired, round) coordinate and verifying each
+  // checkpoint. Stops at the first divergence and reports its coordinate (see
+  // ReplayResult). The trace's config fingerprint must match this machine
+  // (tuning excluded: replaying a trace under a different tuning is exactly how
+  // cross-schedule divergences are localized). `post_restore`, when set, runs
+  // after the snapshot restore and before any event is applied — monitored
+  // machines restore their monitor state there; returning false aborts.
+  ReplayResult ReplayFrom(const Snapshot& snapshot,
+                          const std::vector<uint8_t>& trace,
+                          const std::function<bool()>& post_restore = nullptr);
+
   // Total cycles elapsed on hart 0's clock (the machine reference clock).
   uint64_t cycles() const { return harts_[0]->cycles(); }
   uint64_t total_instret() const;
@@ -194,6 +286,37 @@ class Machine {
 
  private:
   void RefreshInterruptLines();
+
+  // Bodies of the public run entry points. The public wrappers bracket them with
+  // the kRun/kRunDone trace events when a recording is active; the wrappers nest
+  // (multi-hart RunUntilFinished delegates to RunUntil, RunUntil steps via
+  // StepAll), so only the outermost call of a recording machine is traced.
+  bool RunUntilFinishedInner(uint64_t max_instructions, uint64_t max_rounds,
+                             RunProgress* progress);
+  bool RunUntilInner(const std::function<bool()>& predicate, uint64_t max_instructions,
+                     uint64_t max_rounds, RunProgress* progress);
+
+  // -- Record/replay internals (DESIGN.md §2j). -------------------------------------
+  struct Recorder;
+  struct ReplayCursor;
+  bool BeginTracedRun(TraceRunKind kind, uint64_t a, uint64_t b);
+  void EndTracedRun();
+  void RecordEvent(TraceEvent event);  // stamps the current coordinate, appends
+  // The per-barrier hook, called at every point the run loops return to serial
+  // machine-global state (end of a StepAll round, a single-hart batch boundary, a
+  // quantum barrier). Recording: emits blockdev-completion edges and periodic
+  // state-hash checkpoints. Replay: consumes and verifies the checkpoints that
+  // fall due at the current coordinate.
+  void TraceBarrier();
+  void ReplayConsumeCheckpoints();
+  void VerifyCheckpoint(const TraceEvent& event);
+  void ExecuteReplayRun(const TraceEvent& run);
+  void ReplayDiverge(uint32_t hart, const TraceEvent& event, const std::string& detail);
+  uint64_t HashHartState(const Hart& hart) const;
+  uint64_t HashDeviceState() const;
+  std::vector<uint8_t> StateHashPayload() const;  // per-hart hashes + device hash
+  uint64_t HashRam() const;
+  uint64_t HashBlockdevFull() const;
 
   // The quantum run loop (DESIGN.md §2i), dispatched from RunUntilFinished for
   // multi-hart machines when tuning.quantum_harts or tuning.parallel_harts is set.
@@ -249,6 +372,12 @@ class Machine {
   MmodeOwner* owner_ = nullptr;
   TrapObserver trap_observer_;
   std::unique_ptr<WorkerPool> pool_;
+  // Machine-lifetime progress counters (see progress()); serialized in snapshots.
+  uint64_t lifetime_retired_ = 0;
+  uint64_t lifetime_rounds_ = 0;
+  std::unique_ptr<Recorder> recorder_;  // non-null while recording
+  ReplayCursor* replay_ = nullptr;      // non-null while ReplayFrom is running
+  bool in_traced_run_ = false;          // a kRun event is open (outermost run call)
   // True exactly while hart segments are in flight; the Bus/Clint barrier-ordering
   // asserts point here during the quantum loop (written only at serial points; the
   // pool's mutex handoff publishes it to workers).

@@ -1,0 +1,218 @@
+#include "src/trace/trace.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace vfm {
+namespace {
+
+constexpr uint32_t kTraceTag = StateTag("TRAC");
+constexpr uint32_t kEventTag = StateTag("TREV");
+constexpr uint32_t kTraceVersion = 1;
+constexpr uint32_t kEventVersion = 1;
+
+bool IsDroppable(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kUartInput:
+    case TraceEventKind::kPlicLine:
+    case TraceEventKind::kHostTime:
+    case TraceEventKind::kLoadImage:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void TraceWriter::Begin(const TraceHeader& header) {
+  VFM_CHECK_MSG(!begun_, "TraceWriter::Begin called twice");
+  begun_ = true;
+  writer_.BeginSection(kTraceTag, kTraceVersion);
+  writer_.Bytes(header.fingerprint.data(), header.fingerprint.size());
+  writer_.U64(header.anchor_retired);
+  writer_.U64(header.anchor_rounds);
+  writer_.U32(header.hart_count);
+  writer_.U64(header.hash_period);
+}
+
+void TraceWriter::Append(const TraceEvent& event) {
+  VFM_CHECK_MSG(begun_, "TraceWriter::Append before Begin");
+  writer_.BeginSection(kEventTag, kEventVersion);
+  writer_.U8(static_cast<uint8_t>(event.kind));
+  writer_.U8(event.sub);
+  writer_.U32(event.hart);
+  writer_.U64(event.retired);
+  writer_.U64(event.round);
+  writer_.U64(event.a);
+  writer_.U64(event.b);
+  writer_.Bytes(event.payload.data(), event.payload.size());
+  writer_.EndSection();
+  ++event_count_;
+}
+
+std::vector<uint8_t> TraceWriter::Finish() {
+  VFM_CHECK_MSG(begun_, "TraceWriter::Finish before Begin");
+  writer_.EndSection();
+  return writer_.Take();
+}
+
+TraceReader::TraceReader(const std::vector<uint8_t>& bytes) {
+  StateReader reader(bytes.data(), bytes.size());
+  uint32_t version = reader.BeginSection(kTraceTag);
+  if (!reader.ok()) {
+    error_ = reader.error();
+    return;
+  }
+  if (version != kTraceVersion) {
+    error_ = "unsupported trace version " + std::to_string(version);
+    return;
+  }
+  reader.Bytes(&header_.fingerprint);
+  header_.anchor_retired = reader.U64();
+  header_.anchor_rounds = reader.U64();
+  header_.hart_count = reader.U32();
+  header_.hash_period = reader.U64();
+  while (reader.ok() && reader.SectionBytesRemain()) {
+    uint32_t ev = reader.BeginSection(kEventTag);
+    if (!reader.ok()) break;
+    if (ev != kEventVersion) {
+      error_ = "unsupported trace event version " + std::to_string(ev);
+      return;
+    }
+    TraceEvent event;
+    event.kind = static_cast<TraceEventKind>(reader.U8());
+    event.sub = reader.U8();
+    event.hart = reader.U32();
+    event.retired = reader.U64();
+    event.round = reader.U64();
+    event.a = reader.U64();
+    event.b = reader.U64();
+    reader.Bytes(&event.payload);
+    reader.EndSection();
+    if (!reader.ok()) break;
+    events_.push_back(std::move(event));
+  }
+  if (reader.ok()) reader.EndSection();
+  if (!reader.ok()) {
+    error_ = reader.error();
+    return;
+  }
+  if (events_.empty() || events_.back().kind != TraceEventKind::kEnd) {
+    error_ = "trace truncated: missing end-of-trace event";
+    return;
+  }
+}
+
+bool WriteTraceFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == bytes.size();
+  return ok;
+}
+
+bool ReadTraceFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::rewind(f);
+  bytes->assign(static_cast<size_t>(size), 0);
+  const size_t got =
+      size == 0 ? 0 : std::fread(bytes->data(), 1, bytes->size(), f);
+  std::fclose(f);
+  return got == bytes->size();
+}
+
+namespace {
+
+// Rebuilds a trace with the events whose indices appear in `keep` (in order).
+// Header fields are carried over untouched.
+std::vector<uint8_t> RebuildTrace(const TraceHeader& header,
+                                  const std::vector<TraceEvent>& events,
+                                  const std::vector<size_t>& keep) {
+  TraceWriter writer;
+  writer.Begin(header);
+  for (size_t index : keep) writer.Append(events[index]);
+  return writer.Finish();
+}
+
+}  // namespace
+
+std::vector<uint8_t> ShrinkTrace(
+    const std::vector<uint8_t>& trace,
+    const std::function<bool(const std::vector<uint8_t>&)>& still_fails,
+    unsigned max_runs) {
+  TraceReader reader(trace);
+  if (!reader.ok()) return trace;
+  unsigned runs = 0;
+  auto fails = [&](const std::vector<uint8_t>& candidate) {
+    ++runs;
+    return still_fails(candidate);
+  };
+  if (runs >= max_runs || !fails(trace)) return trace;
+
+  const std::vector<TraceEvent>& events = reader.events();
+  std::vector<size_t> droppable;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (IsDroppable(events[i].kind)) droppable.push_back(i);
+  }
+
+  // ddmin over the droppable subset, mirroring ShrinkProgram: try removing
+  // chunks of droppable events; halve the chunk size when a pass removes
+  // nothing.
+  std::vector<size_t> kept = droppable;  // droppable events still present
+  std::vector<uint8_t> best = trace;
+  size_t chunk = kept.size();
+  while (chunk >= 1 && !kept.empty() && runs < max_runs) {
+    bool removed_any = false;
+    for (size_t start = 0; start < kept.size() && runs < max_runs;) {
+      std::vector<size_t> candidate_droppable;
+      for (size_t i = 0; i < kept.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate_droppable.push_back(kept[i]);
+        }
+      }
+      std::vector<size_t> keep_indices;
+      size_t next_droppable = 0;
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (!IsDroppable(events[i].kind)) {
+          keep_indices.push_back(i);
+        } else if (next_droppable < candidate_droppable.size() &&
+                   candidate_droppable[next_droppable] == i) {
+          keep_indices.push_back(i);
+          ++next_droppable;
+        }
+      }
+      std::vector<uint8_t> candidate =
+          RebuildTrace(reader.header(), events, keep_indices);
+      if (fails(candidate)) {
+        kept = std::move(candidate_droppable);
+        best = std::move(candidate);
+        removed_any = true;
+        // Same start now names the next chunk.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    } else if (chunk > kept.size() && !kept.empty()) {
+      chunk = kept.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace vfm
