@@ -12,6 +12,7 @@
 #include "src/isa/priv.h"
 #include "src/refmodel/refmodel.h"
 #include "src/sim/machine.h"
+#include "src/sim/machine_pool.h"
 
 namespace vfm {
 
@@ -292,8 +293,8 @@ HartSnapshot SnapshotHart(const Hart& hart) {
 
 bool g_fork_pool_enabled = false;
 
-std::map<std::string, std::unique_ptr<Machine>>& ForkPool() {
-  static auto* pool = new std::map<std::string, std::unique_ptr<Machine>>();
+MachinePool& ForkPool() {
+  static auto* pool = new MachinePool();
   return *pool;
 }
 
@@ -307,11 +308,7 @@ std::unique_ptr<Machine> MakeCosimMachine(const CosimProgram& program,
   }
   const std::string key =
       std::string(config.name) + "/" + std::to_string(mc.hart_count);
-  std::unique_ptr<Machine>& slot = ForkPool()[key];
-  if (!slot) {
-    slot = std::make_unique<Machine>(mc);
-  }
-  return slot->Fork();
+  return ForkPool().Acquire(key, [&mc] { return std::make_unique<Machine>(mc); });
 }
 
 void InstallTrapObserver(Machine& machine, RunOutcome* out) {
@@ -480,7 +477,7 @@ TracedRunResult RunProgramTraced(const CosimProgram& program,
 void SetForkPoolEnabled(bool enabled) {
   g_fork_pool_enabled = enabled;
   if (!enabled) {
-    ForkPool().clear();
+    ForkPool().Clear();
   }
 }
 

@@ -461,18 +461,19 @@ uint64_t Machine::StepAll() {
   return retired;
 }
 
-uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
-  if (max_rounds == 0) {
-    return 0;
-  }
-  // Only a machine where every hart is parked with nothing pending can skip: any
-  // enabled pending interrupt wakes its hart on the very next tick.
+bool Machine::IdleParked() {
+  // Any enabled pending interrupt wakes its hart on the very next tick, so only a
+  // machine where every hart is parked with nothing pending counts as idle.
   RefreshInterruptLines();
   for (const auto& hart : harts_) {
     if (!hart->waiting() || (hart->csrs().EffectiveMip() & hart->csrs().mie()) != 0) {
-      return 0;
+      return false;
     }
   }
+  return true;
+}
+
+bool Machine::NextDeadline(uint64_t* wake_tick) const {
   // Earliest future event that can change interrupt state, in mtime ticks. While all
   // harts are parked only the timer comparators and the block device move on their
   // own; everything else needs an instruction to execute. Candidates are conservative
@@ -480,11 +481,11 @@ uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
   // enable is off. Waking early just re-parks and fast-forwards again; it never
   // skips an event.
   const uint64_t mtime = clint_->mtime();
-  uint64_t wake_tick = 0;
+  uint64_t wake = 0;
   bool have_wake = false;
   const auto consider = [&](uint64_t tick) {
-    if (tick > mtime && (!have_wake || tick < wake_tick)) {
-      wake_tick = tick;
+    if (tick > mtime && (!have_wake || tick < wake)) {
+      wake = tick;
       have_wake = true;
     }
   };
@@ -497,6 +498,18 @@ uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
   if (blockdev_ && blockdev_->busy()) {
     consider(blockdev_->deadline());
   }
+  if (have_wake && wake_tick != nullptr) {
+    *wake_tick = wake;
+  }
+  return have_wake;
+}
+
+uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
+  if (max_rounds == 0 || !IdleParked()) {
+    return 0;
+  }
+  uint64_t wake_tick = 0;
+  const bool have_wake = NextDeadline(&wake_tick);
   // A parked round charges exactly one cycle per hart, and mtime reaches wake_tick on
   // the round where hart 0's clock reaches wake_tick * mtime_tick_cycles — jump every
   // clock exactly there. With no candidate nothing will ever wake the machine, so
@@ -524,6 +537,56 @@ uint64_t Machine::FastForwardIdle(uint64_t max_rounds) {
   }
   lifetime_rounds_ += skip;
   return skip;
+}
+
+uint64_t Machine::FastForwardIdleTo(uint64_t target_tick) {
+  const uint64_t tick_cycles = config_.cost.mtime_tick_cycles;
+  if (tick_cycles == 0) {
+    return 0;
+  }
+  // The jump advances the machine-lifetime round coordinate, so a recording must
+  // carry it as a run event for replay to land on the same coordinates.
+  const bool traced =
+      BeginTracedRun(TraceRunKind::kFastForwardIdleTo, target_tick, 0);
+  uint64_t skipped = 0;
+  const uint64_t now = harts_[0]->cycles();
+  const uint64_t target_cycles = target_tick > ~uint64_t{0} / tick_cycles
+                                     ? ~uint64_t{0}
+                                     : target_tick * tick_cycles;
+  if (target_cycles > now) {
+    // FastForwardIdle jumps to min(own wake edge, cap), which is exactly the
+    // "target or earlier wake, whichever first" contract.
+    skipped = FastForwardIdle(target_cycles - now);
+    TraceBarrier();
+  }
+  if (traced) {
+    EndTracedRun();
+  }
+  return skipped;
+}
+
+Machine::SliceResult Machine::RunSlice(uint64_t max_instructions, uint64_t max_rounds) {
+  if (max_rounds == 0) {
+    max_rounds = max_instructions > ~uint64_t{0} / 4 ? ~uint64_t{0}
+                                                     : 4 * max_instructions;
+  }
+  const bool traced =
+      BeginTracedRun(TraceRunKind::kRunSlice, max_instructions, max_rounds);
+  slice_idle_stop_ = true;
+  slice_went_idle_ = false;
+  RunProgress progress;
+  const bool finished = RunUntilFinishedInner(max_instructions, max_rounds, &progress);
+  SliceResult result;
+  result.retired = progress.retired;
+  result.rounds = progress.rounds;
+  result.finished = finished;
+  result.idle = slice_went_idle_;
+  slice_idle_stop_ = false;
+  slice_went_idle_ = false;
+  if (traced) {
+    EndTracedRun();
+  }
+  return result;
 }
 
 bool Machine::RunUntilFinished(uint64_t max_instructions) {
@@ -633,15 +696,29 @@ bool Machine::RunUntilFinishedInner(uint64_t max_instructions, uint64_t max_roun
     // A parked hart burned its round on one idle cycle; jump straight to the next
     // wake candidate instead of taking one such round per cycle. Nothing here
     // observes the skipped rounds, so the full jump is exact (see FastForwardIdle).
+    // In slice mode the machine instead stops at the park point and hands the
+    // fast-forward decision to the scheduler (RunSlice).
+    bool stop_idle = false;
     if (batch.last.waiting && rounds < round_cap) {
-      rounds += FastForwardIdle(round_cap - rounds);
+      if (slice_idle_stop_) {
+        stop_idle = IdleParked();
+      } else {
+        rounds += FastForwardIdle(round_cap - rounds);
+      }
     }
     TraceBarrier();
+    if (stop_idle) {
+      slice_went_idle_ = true;
+      report();
+      return false;
+    }
     if (retired >= max_instructions || rounds >= round_cap) {
       report();
-      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
-                   static_cast<unsigned long long>(max_instructions),
-                   hart.waiting() ? "all harts idle" : "harts still running");
+      if (!slice_idle_stop_) {
+        VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                     static_cast<unsigned long long>(max_instructions),
+                     hart.waiting() ? "all harts idle" : "harts still running");
+      }
       return false;
     }
   }
@@ -852,20 +929,33 @@ bool Machine::RunQuantumLoop(uint64_t max_instructions, uint64_t max_rounds,
     if (blockdev_) {
       blockdev_->Tick(clint_->mtime());
     }
-    // (e) Idle fast-forward when the whole machine parked (see FastForwardIdle).
+    // (e) Idle fast-forward when the whole machine parked (see FastForwardIdle);
+    //     slice mode stops at the park point instead (RunSlice).
     bool all_waiting = true;
     for (const auto& hart : harts_) {
       all_waiting = all_waiting && hart->waiting();
     }
+    bool stop_idle = false;
     if (all_waiting && rounds < round_cap) {
-      rounds += FastForwardIdle(round_cap - rounds);
+      if (slice_idle_stop_) {
+        stop_idle = IdleParked();
+      } else {
+        rounds += FastForwardIdle(round_cap - rounds);
+      }
     }
     TraceBarrier();
+    if (stop_idle) {
+      slice_went_idle_ = true;
+      report();
+      return false;
+    }
     if (retired >= max_instructions || rounds >= round_cap) {
       report();
-      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
-                   static_cast<unsigned long long>(max_instructions),
-                   all_waiting ? "all harts idle" : "harts still running");
+      if (!slice_idle_stop_) {
+        VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                     static_cast<unsigned long long>(max_instructions),
+                     all_waiting ? "all harts idle" : "harts still running");
+      }
       return false;
     }
   }
@@ -912,25 +1002,39 @@ bool Machine::RunUntilInner(const std::function<bool()>& predicate,
     for (const auto& hart : harts_) {
       all_waiting = all_waiting && hart->waiting();
     }
+    bool stop_idle = false;
     if (all_waiting && rounds < round_cap) {
-      // Idle fast-forward, capped at the next mtime tick: the predicate then still
-      // observes every timebase value it would have seen round by round (several
-      // callers watch mtime), it just skips the idle cycles in between.
-      const uint64_t next_tick_cycles =
-          (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
-      const uint64_t now = harts_[0]->cycles();
-      uint64_t cap = round_cap - rounds;
-      if (next_tick_cycles > now && next_tick_cycles - now < cap) {
-        cap = next_tick_cycles - now;
+      if (slice_idle_stop_) {
+        // Slice mode (multi-hart non-quantum machines run their slices through
+        // this loop): stop at the park point, the scheduler fast-forwards.
+        stop_idle = IdleParked();
+      } else {
+        // Idle fast-forward, capped at the next mtime tick: the predicate then
+        // still observes every timebase value it would have seen round by round
+        // (several callers watch mtime), it just skips the idle cycles in between.
+        const uint64_t next_tick_cycles =
+            (clint_->mtime() + 1) * config_.cost.mtime_tick_cycles;
+        const uint64_t now = harts_[0]->cycles();
+        uint64_t cap = round_cap - rounds;
+        if (next_tick_cycles > now && next_tick_cycles - now < cap) {
+          cap = next_tick_cycles - now;
+        }
+        rounds += FastForwardIdle(cap);
       }
-      rounds += FastForwardIdle(cap);
+    }
+    if (stop_idle) {
+      slice_went_idle_ = true;
+      report();
+      return false;
     }
     // The round bound also terminates a machine where every hart is parked in WFI.
     if (retired >= max_instructions || rounds >= round_cap) {
       report();
-      VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
-                   static_cast<unsigned long long>(max_instructions),
-                   all_waiting ? "all harts idle" : "harts still running");
+      if (!slice_idle_stop_) {
+        VFM_LOG_WARN("sim", "instruction budget exhausted (%llu instructions, %s)",
+                     static_cast<unsigned long long>(max_instructions),
+                     all_waiting ? "all harts idle" : "harts still running");
+      }
       return false;
     }
   }
@@ -1350,6 +1454,14 @@ void Machine::ExecuteReplayRun(const TraceEvent& run) {
       // depends on the remaining round allowance, so a different budget would
       // change the schedule, not just the stop point.
       RunUntilFinished(run.a, run.b, &progress);
+      break;
+    case TraceRunKind::kRunSlice:
+      // Slice stop points are a pure function of architectural state and the
+      // budgets, so re-issuing the slice reproduces the recorded stop barrier.
+      RunSlice(run.a, run.b);
+      break;
+    case TraceRunKind::kFastForwardIdleTo:
+      FastForwardIdleTo(run.a);
       break;
     case TraceRunKind::kRunUntil: {
       // The original predicate is host code and cannot be serialized; its effect

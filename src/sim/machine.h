@@ -206,6 +206,40 @@ class Machine {
   bool RunUntil(const std::function<bool()>& predicate, uint64_t max_instructions,
                 uint64_t max_rounds, RunProgress* progress);
 
+  // -- Non-blocking scheduling hooks (fleet executor, DESIGN.md §2k). ---------------
+  // True when every hart is parked in WFI with no enabled interrupt pending: the
+  // machine cannot make progress until a timer/device edge arrives or the host
+  // injects input. Refreshes device interrupt lines before deciding.
+  bool IdleParked();
+
+  // Earliest future event, in mtime ticks, that can wake an idle machine on its
+  // own — a CLINT mtimecmp, an Sstc stimecmp, or the block-device completion
+  // deadline: the same (conservative) candidate scan FastForwardIdle runs.
+  // Returns false when no future edge exists, i.e. nothing short of host input
+  // will ever wake the machine. Cheap — reads comparators, steps nothing — so
+  // schedulers can park machines on this deadline without running them.
+  bool NextDeadline(uint64_t* wake_tick) const;
+
+  // Fast-forwards an idle-parked machine to `target_tick` (absolute mtime tick),
+  // or to its own earlier wake edge, whichever comes first, with the exact
+  // idle-cycle parity of FastForwardIdle. Returns the rounds skipped; 0 when the
+  // machine is not idle-parked or the target is not in the future. Recorded as a
+  // run event when a recording is active (it advances the trace coordinate).
+  uint64_t FastForwardIdleTo(uint64_t target_tick);
+
+  // One non-blocking scheduler slice: runs like RunUntilFinished, but stops —
+  // without fast-forwarding, and without the budget-exhausted warning — as soon
+  // as the whole machine idle-parks. A fleet executor alternates RunSlice with
+  // NextDeadline/FastForwardIdleTo parking instead of burning slice budget on
+  // idle rounds. max_rounds == 0 means the usual 4 * max_instructions allowance.
+  struct SliceResult {
+    uint64_t retired = 0;
+    uint64_t rounds = 0;
+    bool finished = false;  // the finisher fired
+    bool idle = false;      // stopped because the machine idle-parked
+  };
+  SliceResult RunSlice(uint64_t max_instructions, uint64_t max_rounds = 0);
+
   // -- Whole-machine snapshot and copy-on-write fork (DESIGN.md §2h). ---------------
   // Captures the complete simulated-machine state. Non-const: RAM regions freeze
   // into CoW images (contents are unchanged; repeated saves of an unmodified
@@ -378,6 +412,10 @@ class Machine {
   std::unique_ptr<Recorder> recorder_;  // non-null while recording
   ReplayCursor* replay_ = nullptr;      // non-null while ReplayFrom is running
   bool in_traced_run_ = false;          // a kRun event is open (outermost run call)
+  // RunSlice mode: the run loops stop at whole-machine idle instead of
+  // fast-forwarding, and budget exhaustion is an expected stop, not a warning.
+  bool slice_idle_stop_ = false;
+  bool slice_went_idle_ = false;
   // True exactly while hart segments are in flight; the Bus/Clint barrier-ordering
   // asserts point here during the quantum loop (written only at serial points; the
   // pool's mutex handoff publishes it to workers).

@@ -1,0 +1,26 @@
+#include "src/sim/machine_pool.h"
+
+#include "src/common/check.h"
+
+namespace vfm {
+
+Machine* MachinePool::TemplateFor(const std::string& key, const Factory& make) {
+  std::unique_ptr<Machine>& slot = templates_[key];
+  if (!slot) {
+    slot = make();
+    VFM_CHECK_MSG(slot != nullptr, "MachinePool: factory returned null");
+  }
+  return slot.get();
+}
+
+std::unique_ptr<Machine> MachinePool::Acquire(const std::string& key,
+                                              const Factory& make) {
+  ++forks_;
+  return TemplateFor(key, make)->Fork();
+}
+
+void MachinePool::Clear() {
+  templates_.clear();
+}
+
+}  // namespace vfm

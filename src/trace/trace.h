@@ -51,6 +51,8 @@ enum class TraceRunKind : uint8_t {
   kStepAll = 1,
   kRunUntilFinished = 2,
   kRunUntil = 3,  // predicate runs replay by target coordinate (the kRunDone event)
+  kRunSlice = 4,  // non-blocking fleet slice: stops at idle-park instead of FF
+  kFastForwardIdleTo = 5,  // a = target mtime tick (scheduler un-parking a machine)
 };
 
 struct TraceEvent {

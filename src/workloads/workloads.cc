@@ -1,6 +1,7 @@
 #include "src/workloads/workloads.h"
 
 #include "src/common/check.h"
+#include "src/dev/uart.h"
 #include "src/isa/csr.h"
 #include "src/isa/sbi.h"
 #include "src/kernel/kernel.h"
@@ -110,7 +111,150 @@ void EmitRequestLoop(KernelBuilder& kb, const WorkloadProfile& profile,
   a.Bnez(s4, prefix);
 }
 
+// One request's worth of `profile` work, emitted straight-line (the fleet server
+// kernel runs it once per mailbox byte instead of in a counted loop). Register
+// conventions match EmitRequestLoop: s4 is the completed-request count (for the
+// every-16th value-size skew), s5 the check accumulator, s7 the inner counter.
+void EmitFleetRequestWork(KernelBuilder& kb, const WorkloadProfile& profile,
+                          const std::string& prefix) {
+  Assembler& a = kb.assembler();
+  const uint64_t inner_iters = profile.compute_per_request / 16;
+  if (inner_iters > 0) {
+    a.Li(s7, inner_iters);
+    a.Bind(prefix + "_inner");
+    for (unsigned i = 0; i < 16; ++i) {
+      switch (i % 4) {
+        case 0:
+          a.Addi(s5, s5, 0x35);
+          break;
+        case 1:
+          a.Xori(s5, s5, 0x5A);
+          break;
+        case 2:
+          a.Slli(t0, s5, 1);
+          a.Add(s5, s5, t0);
+          break;
+        default:
+          a.Srli(t0, s5, 7);
+          a.Xor(s5, s5, t0);
+          break;
+      }
+    }
+    a.Addi(s7, s7, -1);
+    a.Bnez(s7, prefix + "_inner");
+    // Value-size skew, as in EmitRequestLoop: every 16th request carries 4x the
+    // compute, spreading the latency distribution.
+    a.Andi(t0, s4, 15);
+    a.Bnez(t0, prefix + "_no_extra");
+    a.Li(s7, inner_iters * 4);
+    a.Bind(prefix + "_extra");
+    a.Addi(s5, s5, 0x35);
+    a.Xori(s5, s5, 0x5A);
+    a.Slli(t0, s5, 1);
+    a.Add(s5, s5, t0);
+    a.Addi(s7, s7, -1);
+    a.Bnez(s7, prefix + "_extra");
+    a.Bind(prefix + "_no_extra");
+  }
+  for (unsigned i = 0; i < profile.time_reads_per_request; ++i) {
+    kb.EmitTimeRead();
+    a.Add(s5, s5, a0);
+  }
+  for (unsigned i = 0; i < profile.set_timers_per_request; ++i) {
+    kb.EmitSetTimerRelative(2000);
+  }
+  if (profile.ipis_per_request > 0 && profile.ipi_every > 1) {
+    a.Andi(t0, s4, profile.ipi_every - 1);
+    a.Bnez(t0, prefix + "_no_ipi");
+  }
+  for (unsigned i = 0; i < profile.ipis_per_request; ++i) {
+    kb.EmitSendIpi(1);
+  }
+  if (profile.ipis_per_request > 0 && profile.ipi_every > 1) {
+    a.Bind(prefix + "_no_ipi");
+  }
+  for (unsigned i = 0; i < profile.rfences_per_request; ++i) {
+    kb.EmitRemoteFence(1);
+  }
+  for (unsigned i = 0; i < profile.misaligned_per_request; ++i) {
+    kb.EmitMisalignedLoad();
+  }
+}
+
 }  // namespace
+
+Image BuildFleetServerKernel(const PlatformProfile& platform,
+                             const WorkloadProfile& profile,
+                             uint64_t poll_interval_ticks,
+                             FleetServerLayout* layout) {
+  VFM_CHECK_MSG(poll_interval_ticks > 0, "fleet server needs a poll interval");
+  constexpr uint64_t kRingEntries = 2048;  // pow2; Andi mask must fit 12-bit imm
+  KernelConfig config;
+  config.base = platform.kernel_base;
+  config.hart_count = 1;  // the server loop is single-hart (one machine = one shard)
+  config.enable_paging = profile.paging;
+  config.use_sstc = profile.use_sstc;
+  config.timer_interval = poll_interval_ticks;  // trap handler re-arms every poll
+  config.finisher_base = platform.machine.map.finisher_base;
+  config.plic_base = platform.machine.map.plic_base;
+  config.blockdev_base = platform.machine.map.blockdev_base;
+  KernelBuilder kb(config);
+  Assembler& a = kb.assembler();
+
+  kb.EmitSetTimerRelative(poll_interval_ticks);
+  a.Li(s4, 0);  // completed requests
+  a.Li(s5, 0);  // check accumulator
+  a.La(s6, "w_lat_ring");
+  a.Li(s9, platform.machine.map.uart_base);
+
+  // Mailbox poll. The UART model is byte-wide MMIO: LSR.DR says a request byte
+  // is waiting, RBR pops it.
+  a.Bind("f_poll");
+  a.Lbu(t0, s9, static_cast<int32_t>(Uart::kLsrOffset));
+  a.Andi(t0, t0, Uart::kLsrDataReady);
+  a.Beqz(t0, "f_idle");
+  a.Lbu(s10, s9, static_cast<int32_t>(Uart::kDataOffset));
+  a.Li(t0, kFleetShutdownByte);
+  a.Beq(s10, t0, "f_done");
+
+  EmitFleetRequestWork(kb, profile, "f_req");
+
+  // Completion timestamp into the ring at (completed mod kRingEntries), then
+  // publish the new completed count — the host's drain cursor.
+  kb.EmitTimeRead();
+  a.Andi(t0, s4, kRingEntries - 1);
+  a.Slli(t0, t0, 3);
+  a.Add(t0, t0, s6);
+  a.Sd(a0, t0, 0);
+  a.Addi(s4, s4, 1);
+  a.Mv(a0, s4);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+  a.J("f_poll");
+
+  // Empty mailbox: park until the poll timer fires (or any enabled interrupt).
+  a.Bind("f_idle");
+  a.Wfi();
+  a.J("f_poll");
+
+  a.Bind("f_done");
+  a.Mv(a0, s4);
+  kb.EmitStoreResult(KernelSlots::kScratch);
+  a.Mv(a0, s5);
+  kb.EmitStoreResult(KernelSlots::kScratch + 1);
+  kb.EmitFinish(/*pass=*/true);
+
+  a.Align(8);
+  a.Bind("w_lat_ring");
+  a.Zero(kRingEntries * 8);
+
+  Image image = kb.Finish();
+  if (layout != nullptr) {
+    layout->latency_ring = image.Symbol("w_lat_ring");
+    layout->ring_entries = kRingEntries;
+    layout->completed_addr = KernelBuilder::ResultAddr(image, KernelSlots::kScratch);
+  }
+  return image;
+}
 
 Image BuildWorkloadKernel(const PlatformProfile& platform, const WorkloadProfile& profile) {
   KernelConfig config;

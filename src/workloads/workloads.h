@@ -54,6 +54,32 @@ WorkloadProfile GccProfile();
 // image symbol "w_lat_buf" (requests entries of 8 bytes).
 Image BuildWorkloadKernel(const PlatformProfile& platform, const WorkloadProfile& profile);
 
+// -- Fleet server kernel (DESIGN.md §2k). -------------------------------------------
+// An open-loop request server for the fleet executor: the guest arms a periodic
+// S-timer (`poll_interval_ticks`, re-armed by the trap handler) and loops
+// draining a UART request mailbox — each kFleetRequestByte triggers one
+// request's worth of `profile` work (compute chain + trap mix + every-16th
+// value-size skew), stamps its completion rdtime into a latency ring, and
+// publishes the completed count; an empty mailbox parks the hart in WFI until
+// the next poll tick. kFleetShutdownByte ends the run through the finisher.
+// The UART has no interrupt wiring, so the poll timer *is* the wake mechanism —
+// a deliberate polling-server design whose worst-case added latency is one poll
+// interval, deterministically.
+constexpr uint8_t kFleetRequestByte = 0x01;
+constexpr uint8_t kFleetShutdownByte = 0xFF;
+
+// Guest-side addresses the host front-end reads, resolved from the built image.
+struct FleetServerLayout {
+  uint64_t latency_ring = 0;   // "w_lat_ring": completion timestamps (ticks)
+  uint64_t ring_entries = 0;   // power of two; entry i holds completion i mod N
+  uint64_t completed_addr = 0; // u64 count of completed requests (kScratch slot)
+};
+
+Image BuildFleetServerKernel(const PlatformProfile& platform,
+                             const WorkloadProfile& profile,
+                             uint64_t poll_interval_ticks,
+                             FleetServerLayout* layout);
+
 // Outcome of one workload execution.
 struct WorkloadRun {
   uint64_t cycles = 0;             // hart-0 cycles from boot to finisher
